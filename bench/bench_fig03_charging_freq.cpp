@@ -1,0 +1,53 @@
+// Fig. 3 — charging frequencies of electric vehicles by hour of day.
+//
+// The paper shows a histogram over ~70k charging records from 12 stations /
+// 3 years; we regenerate it from the synthetic charging-history dataset.
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "ev/dataset.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace ecthub;
+  const CliFlags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 33));
+  ev::DatasetConfig cfg;
+  cfg.num_days = static_cast<std::size_t>(flags.get_int("days", 1095));
+
+  std::cout << "=== Fig. 3: charging frequencies of electric vehicles ===\n";
+  const ev::ChargingDataset dataset(cfg, Rng(seed));
+  std::cout << "Synthetic dataset: " << cfg.num_stations << " stations x " << cfg.num_days
+            << " days, " << dataset.num_charges()
+            << " charge events (paper: 12 stations x 3 years, 70k records)\n\n";
+
+  const std::vector<std::size_t> freq = dataset.charge_frequency_by_hour();
+  const std::size_t peak = *std::max_element(freq.begin(), freq.end());
+
+  TextTable table({"hour", "frequency", "profile"});
+  for (std::size_t h = 0; h < 24; ++h) {
+    const auto bar_len = static_cast<std::size_t>(40.0 * static_cast<double>(freq[h]) /
+                                                  static_cast<double>(std::max<std::size_t>(peak, 1)));
+    table.begin_row()
+        .add_int(static_cast<long long>(h))
+        .add_int(static_cast<long long>(freq[h]))
+        .add(std::string(bar_len, '#'));
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: quiet overnight, broad daytime bulk, evening tail —\n"
+               "significant usage variation across the day motivating dynamic pricing.\n";
+
+  const std::string csv_dir = flags.get_string("csv", "");
+  if (!csv_dir.empty()) {
+    std::vector<double> hours(24), counts(24);
+    for (std::size_t h = 0; h < 24; ++h) {
+      hours[h] = static_cast<double>(h);
+      counts[h] = static_cast<double>(freq[h]);
+    }
+    write_csv(csv_dir + "/fig03_charging_freq.csv", {"hour", "frequency"}, {hours, counts});
+  }
+  return 0;
+}

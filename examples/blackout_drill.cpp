@@ -1,0 +1,62 @@
+// Blackout drill: validates the Eq. 6 reserve sizing by failure injection.
+// Sizes the SoC floor for a target recovery time, then bombards the hub with
+// random grid outages and reports the survival rate at different floors —
+// the resilience/profit tradeoff an ECT-Hub operator has to pick.
+//
+//   $ ./blackout_drill [--trials 500] [--recovery-hours 4]
+#include "battery/reserve.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/blackout.hpp"
+#include "core/hub_config.hpp"
+#include "power/base_station.hpp"
+#include "traffic/generator.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace ecthub;
+  const CliFlags flags(argc, argv);
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 500));
+  const double recovery_h = flags.get_double("recovery-hours", 4.0);
+
+  // A representative two-week BS load trace.
+  const core::HubConfig hub = core::HubConfig::urban("DrillHub", 99);
+  const TimeGrid grid(14, 24);
+  traffic::TrafficGenerator tgen(hub.traffic, Rng(100));
+  const power::BaseStation bs(hub.bs);
+  const auto bs_kw = bs.series(tgen.generate(grid).load_rate);
+
+  // Outages of 1-8 hours, about twice a month.
+  core::OutageModel outages;
+  outages.rate_per_month = 2.0;
+  outages.min_duration_h = 1.0;
+  outages.max_duration_h = 8.0;
+
+  std::cout << "=== Blackout drill: reserve sizing vs outage survival ===\n";
+  const auto recovery_slots = static_cast<std::size_t>(recovery_h);
+  const double sized_reserve =
+      battery::reserve_energy_worst_window(bs_kw, recovery_slots, grid.slot_hours());
+  std::cout << "Eq. 6 reserve for T_r = " << recovery_h << " h: " << sized_reserve
+            << " kWh (worst BS window)\n\n";
+
+  TextTable table({"SoC floor (kWh)", "survival rate", "mean hours carried"});
+  const double hard_min = hub.battery.soc_min_frac * hub.battery.capacity_kwh;
+  for (const double floor_kwh :
+       {hard_min + 2.0, hard_min + 8.0,
+        sized_reserve / hub.battery.discharge_efficiency + hard_min,
+        0.5 * hub.battery.capacity_kwh}) {
+    const auto stats = core::outage_survival(hub.battery, floor_kwh, bs_kw, outages,
+                                             grid.slot_hours(), trials, Rng(101));
+    table.begin_row()
+        .add_double(floor_kwh, 1)
+        .add_double(stats.survival_rate * 100.0, 1)
+        .add_double(stats.mean_slots_survived * grid.slot_hours(), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe floor sized by Eq. 6 for " << recovery_h
+            << " h covers all outages up to that length; longer storms need a\n"
+               "deeper (and less profitable) reserve — the tradeoff the ablation\n"
+               "bench quantifies on the profit side.\n";
+  return 0;
+}

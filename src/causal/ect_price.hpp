@@ -1,0 +1,92 @@
+// ECT-Price: counterfactual-stratification multi-task model (paper Sec. IV-A).
+//
+// Two NCF towers (Fig. 9):
+//   Stratification task  -> softmax over {f00 = No Charge, f01 = Incentive,
+//                            f11 = Always}
+//   Propensity task      -> g(X) = P(T = 1 | X)
+// trained jointly on the counterfactual-identification losses (Eq. 18-23):
+//   L1 = MSE(f00 * g,            1[Y=0 & T=1])
+//   L2 = MSE(f11 * (1 - g),      1[Y=1 & T=0])
+//   L3 = MSE((f01 + f11) * g,    1[Y=1 & T=1])
+//   L4 = MSE((f00 + f01)*(1-g),  1[Y=0 & T=0])
+//   Lp = MSE(g,                  1[T=1])
+// The identities Eq. 13-16 make each stratum identifiable from observational
+// (Y, T) pairs; discounts then target predicted Incentive mass.
+//
+// Deviation from the paper: Eq. 16 as printed reads (f00 + f11)(1 - g), but
+// the paper's own identification argument ("both Incentive Charge and No
+// Charge can result in the observation (Y=0, T=0)") implies f00 + f01; the
+// printed form is a typo that breaks identifiability (see ect_price.cpp).
+#pragma once
+
+#include "causal/ncf.hpp"
+#include "nn/optimizer.hpp"
+
+#include <array>
+#include <vector>
+
+namespace ecthub::causal {
+
+/// Predicted strata probabilities plus the propensity score for one item.
+struct StrataPrediction {
+  double p_none = 0.0;       ///< f00
+  double p_incentive = 0.0;  ///< f01
+  double p_always = 0.0;     ///< f11
+  double propensity = 0.0;   ///< g
+
+  [[nodiscard]] ev::Stratum argmax() const;
+};
+
+struct EctPriceConfig {
+  NcfConfig ncf;
+  nn::AdamConfig adam{.lr = 1e-2, .weight_decay = 1e-4, .grad_clip = 5.0};
+  std::size_t batch_size = 64;
+  std::size_t epochs = 3;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;  ///< mean total loss per epoch
+};
+
+class EctPriceModel {
+ public:
+  EctPriceModel(EctPriceConfig cfg, Rng rng);
+
+  /// Jointly trains both tasks on encoded items.
+  TrainStats fit(const std::vector<Item>& train);
+
+  /// Loss components of one batch without updating (for tests/diagnostics).
+  struct LossParts {
+    double l1 = 0, l2 = 0, l3 = 0, l4 = 0, lp = 0;
+    [[nodiscard]] double total() const { return l1 + l2 + l3 + l4 + lp; }
+  };
+  LossParts evaluate_loss(const std::vector<Item>& items);
+
+  /// Accumulates gradients for one full-batch pass without stepping the
+  /// optimizer (used by the finite-difference gradient tests).
+  LossParts compute_gradients(const std::vector<Item>& items);
+
+  /// All trainable parameters of both towers.
+  [[nodiscard]] std::vector<nn::Parameter> parameters();
+
+  /// Batch prediction.
+  [[nodiscard]] std::vector<StrataPrediction> predict(const std::vector<Item>& items);
+  [[nodiscard]] StrataPrediction predict_one(std::size_t station_id, std::size_t time_id);
+
+  [[nodiscard]] const EctPriceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  enum class Mode { kEval, kGrad, kTrain };
+  /// Forward + loss; kGrad also backprops, kTrain backprops and steps Adam.
+  LossParts process_batch(const Batch& batch, Mode mode);
+
+  EctPriceConfig cfg_;
+  Rng rng_;
+  NcfBackbone strat_backbone_;
+  nn::Mlp strat_head_;      ///< -> 3 logits (softmax applied externally)
+  NcfBackbone prop_backbone_;
+  nn::Mlp prop_head_;       ///< -> sigmoid propensity
+  nn::Adam opt_;
+};
+
+}  // namespace ecthub::causal

@@ -1,0 +1,45 @@
+#include "causal/features.hpp"
+
+#include <stdexcept>
+
+namespace ecthub::causal {
+
+std::size_t encode_time(std::size_t hour) {
+  if (hour >= kTimeVocab) throw std::invalid_argument("encode_time: hour out of range");
+  return hour;
+}
+
+std::vector<Item> encode(const std::vector<ev::ChargingRecord>& records) {
+  std::vector<Item> items;
+  items.reserve(records.size());
+  for (const auto& r : records) {
+    Item it;
+    it.station_id = r.station;
+    it.time_id = encode_time(r.hour);
+    it.treated = r.treated;
+    it.charged = r.charged;
+    it.stratum = r.stratum;
+    it.hour = r.hour;
+    items.push_back(it);
+  }
+  return items;
+}
+
+Batch make_batch(const std::vector<Item>& items, const std::vector<std::size_t>& indices) {
+  Batch b;
+  b.station_ids.reserve(indices.size());
+  b.time_ids.reserve(indices.size());
+  b.treated.reserve(indices.size());
+  b.charged.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= items.size()) throw std::out_of_range("make_batch: index out of range");
+    const Item& it = items[idx];
+    b.station_ids.push_back(it.station_id);
+    b.time_ids.push_back(it.time_id);
+    b.treated.push_back(it.treated ? 1.0 : 0.0);
+    b.charged.push_back(it.charged ? 1.0 : 0.0);
+  }
+  return b;
+}
+
+}  // namespace ecthub::causal

@@ -1,0 +1,51 @@
+// Feature encoding for the pricing models.
+//
+// ECT-Price's Fig. 9 architecture consumes two categorical features per item:
+// a station feature and a time feature.  We encode the station as its index
+// and the time as the hour-of-day slot — the granularity of the paper's
+// Figs. 11-12 and of the discount decision itself.  (A composite
+// day-of-week x hour id was measured to dilute each cell's sample count 7x
+// without adding signal: the charging behaviour ground truth has no weekly
+// structure.)
+#pragma once
+
+#include "ev/dataset.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::causal {
+
+/// One encoded training/evaluation item.
+struct Item {
+  std::size_t station_id = 0;
+  std::size_t time_id = 0;  ///< hour of day, in [0, 24)
+  bool treated = false;
+  bool charged = false;
+  ev::Stratum stratum = ev::Stratum::kNone;  ///< ground truth, evaluation only
+  std::size_t hour = 0;                      ///< kept for reporting
+};
+
+constexpr std::size_t kTimeVocab = 24;
+
+/// Hour-of-day encoding (identity with validation).
+[[nodiscard]] std::size_t encode_time(std::size_t hour);
+
+/// Converts dataset records into encoded items.
+[[nodiscard]] std::vector<Item> encode(const std::vector<ev::ChargingRecord>& records);
+
+/// A minibatch view: parallel id/target vectors ready for the models.
+struct Batch {
+  std::vector<std::size_t> station_ids;
+  std::vector<std::size_t> time_ids;
+  std::vector<double> treated;
+  std::vector<double> charged;
+
+  [[nodiscard]] std::size_t size() const noexcept { return station_ids.size(); }
+};
+
+/// Gathers `indices` out of `items` into a batch.
+[[nodiscard]] Batch make_batch(const std::vector<Item>& items,
+                               const std::vector<std::size_t>& indices);
+
+}  // namespace ecthub::causal

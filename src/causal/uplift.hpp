@@ -1,0 +1,96 @@
+// Traditional uplift-modeling baselines (paper Sec. V-A): outcome regression
+// (OR), inverse propensity scoring (IPS), and the doubly-robust (DR)
+// estimator.  All use the NCF backbone as their base model, mirroring the
+// paper's setup.  Each produces a per-item uplift score
+//   tau(X) ~= P(Y=1 | T=1, X) - P(Y=1 | T=0, X),
+// and the discount policy treats items with positive estimated uplift.
+//
+// Uplift models cannot distinguish the "Always Buyer": an always-charging
+// item has tau ~= 0 but noisy estimates routinely push it above threshold,
+// wasting discounts — the failure mode ECT-Price's stratification removes.
+#pragma once
+
+#include "causal/ncf.hpp"
+#include "nn/optimizer.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecthub::causal {
+
+struct UpliftConfig {
+  NcfConfig ncf;
+  nn::AdamConfig adam{.lr = 1e-2, .weight_decay = 1e-4, .grad_clip = 5.0};
+  std::size_t batch_size = 64;
+  std::size_t epochs = 3;
+  /// Propensity clipping bounds for IPS/DR weight stability.
+  double propensity_clip = 0.05;
+};
+
+/// Common interface for the three estimators.
+class UpliftModel {
+ public:
+  virtual ~UpliftModel() = default;
+
+  virtual void fit(const std::vector<Item>& train) = 0;
+
+  /// Estimated treatment effect for each item.
+  [[nodiscard]] virtual std::vector<double> uplift(const std::vector<Item>& items) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// T-learner: separate outcome models for treated and control arms.
+class OutcomeRegression final : public UpliftModel {
+ public:
+  OutcomeRegression(UpliftConfig cfg, Rng rng);
+  void fit(const std::vector<Item>& train) override;
+  [[nodiscard]] std::vector<double> uplift(const std::vector<Item>& items) override;
+  [[nodiscard]] std::string name() const override { return "OR"; }
+
+ private:
+  UpliftConfig cfg_;
+  Rng rng_;
+  NcfRegressor mu1_, mu0_;
+};
+
+/// Transformed-outcome regression with estimated propensities.
+class InversePropensityScoring final : public UpliftModel {
+ public:
+  InversePropensityScoring(UpliftConfig cfg, Rng rng);
+  void fit(const std::vector<Item>& train) override;
+  [[nodiscard]] std::vector<double> uplift(const std::vector<Item>& items) override;
+  [[nodiscard]] std::string name() const override { return "IPS"; }
+
+  /// The fitted propensity for one item (exposed for tests).
+  [[nodiscard]] double propensity(std::size_t station_id, std::size_t time_id);
+
+ private:
+  UpliftConfig cfg_;
+  Rng rng_;
+  NcfRegressor prop_;   ///< e(X), sigmoid
+  NcfRegressor tau_;    ///< uplift regressor, identity output
+};
+
+/// Doubly-robust pseudo-outcome regression (consistent if either the outcome
+/// models or the propensity model is correct).
+class DoublyRobust final : public UpliftModel {
+ public:
+  DoublyRobust(UpliftConfig cfg, Rng rng);
+  void fit(const std::vector<Item>& train) override;
+  [[nodiscard]] std::vector<double> uplift(const std::vector<Item>& items) override;
+  [[nodiscard]] std::string name() const override { return "DR"; }
+
+ private:
+  UpliftConfig cfg_;
+  Rng rng_;
+  NcfRegressor mu1_, mu0_, prop_, tau_;
+};
+
+/// Shared minibatch trainer: fits `model` to (items, targets) under MSE.
+void train_regressor(NcfRegressor& model, const std::vector<Item>& items,
+                     const std::vector<double>& targets, const UpliftConfig& cfg, Rng& rng,
+                     nn::Adam& opt);
+
+}  // namespace ecthub::causal

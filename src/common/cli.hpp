@@ -1,0 +1,37 @@
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags raise an error so that typos in experiment scripts fail loud.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecthub {
+
+class CliFlags {
+ public:
+  /// Parses argv.  Throws std::invalid_argument on malformed input.
+  CliFlags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors return the default when the flag is absent.
+  [[nodiscard]] std::string get_string(const std::string& name, std::string def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecthub

@@ -1,0 +1,35 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ecthub {
+
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size()) {
+    throw std::runtime_error("write_csv: names/columns size mismatch");
+  }
+  if (columns.empty()) throw std::runtime_error("write_csv: no columns");
+  const std::size_t n = columns.front().size();
+  for (const auto& c : columns) {
+    if (c.size() != n) throw std::runtime_error("write_csv: ragged columns");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    if (c) out << ',';
+    out << names[c];
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ',';
+      out << columns[c][r];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+}  // namespace ecthub

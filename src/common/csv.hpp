@@ -1,0 +1,14 @@
+// CSV export helper: benches optionally dump their series for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ecthub {
+
+/// Writes named columns of equal length to `path` as CSV.
+/// Throws std::runtime_error on I/O failure or ragged columns.
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns);
+
+}  // namespace ecthub

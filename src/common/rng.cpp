@@ -1,0 +1,71 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecthub {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  std::poisson_distribution<std::uint64_t> d(mean);
+  return d(engine_);
+}
+
+double Rng::weibull(double shape, double scale) {
+  std::weibull_distribution<double> d(shape, scale);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+Rng Rng::fork() {
+  // Derive a child seed from the parent stream; advances the parent state so
+  // successive forks are independent.
+  return Rng(engine_());
+}
+
+void Rng::shuffle(std::vector<std::size_t>& idx) {
+  std::shuffle(idx.begin(), idx.end(), engine_);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("Rng::categorical: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("Rng::categorical: weights must sum > 0");
+  double u = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("Rng::categorical: negative weight");
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ecthub

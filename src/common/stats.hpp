@@ -1,0 +1,39 @@
+// Small statistics helpers used by generators, evaluators and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::stats {
+
+/// Arithmetic mean; 0 for an empty vector.
+double mean(const std::vector<double>& v);
+
+/// Population variance; 0 for fewer than 2 elements.
+double variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Pearson correlation coefficient; 0 if either side is constant or empty.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Linearly-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+double min(const std::vector<double>& v);
+double max(const std::vector<double>& v);
+double sum(const std::vector<double>& v);
+
+/// Centered moving average with window `w` (clamped at the edges).
+std::vector<double> moving_average(const std::vector<double>& v, std::size_t w);
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets; values outside
+/// the range are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
+                                   std::size_t bins);
+
+/// Lag-k autocorrelation; 0 when undefined.
+double autocorrelation(const std::vector<double>& v, std::size_t lag);
+
+}  // namespace ecthub::stats

@@ -1,0 +1,91 @@
+#include "core/blackout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::core {
+
+std::vector<OutageEvent> draw_outages(const OutageModel& model, std::size_t num_slots,
+                                      double dt_hours, Rng& rng) {
+  if (num_slots == 0) throw std::invalid_argument("draw_outages: num_slots == 0");
+  if (dt_hours <= 0.0) throw std::invalid_argument("draw_outages: dt_hours <= 0");
+  if (model.rate_per_month < 0.0 || model.min_duration_h < 0.0 ||
+      model.max_duration_h < model.min_duration_h) {
+    throw std::invalid_argument("draw_outages: bad OutageModel");
+  }
+  const double horizon_months =
+      static_cast<double>(num_slots) * dt_hours / (30.0 * 24.0);
+  const std::uint64_t count = rng.poisson(model.rate_per_month * horizon_months);
+  std::vector<OutageEvent> events;
+  events.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    OutageEvent e;
+    e.start_slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_slots) - 1));
+    const double dur_h = rng.uniform(model.min_duration_h, model.max_duration_h);
+    e.duration_slots = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(dur_h / dt_hours)));
+    events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const OutageEvent& a, const OutageEvent& b) {
+              return a.start_slot < b.start_slot;
+            });
+  return events;
+}
+
+RideThroughResult ride_through(const battery::BatteryConfig& pack, double soc_kwh,
+                               const std::vector<double>& bs_kw, double dt_hours) {
+  pack.validate();
+  if (dt_hours <= 0.0) throw std::invalid_argument("ride_through: dt_hours <= 0");
+  RideThroughResult r;
+  // During a blackout the pack may drain to its hard minimum (soc_min_frac),
+  // not the raised trading floor — that band exists exactly for this.
+  const double hard_floor = pack.soc_min_frac * pack.capacity_kwh;
+  double soc = std::max(soc_kwh, hard_floor);
+  r.survived = true;
+  for (double draw_kw : bs_kw) {
+    if (draw_kw < 0.0) throw std::invalid_argument("ride_through: negative BS draw");
+    const double delivered_want = std::min(draw_kw, pack.discharge_rate_kw) * dt_hours;
+    const double depletable = (soc - hard_floor) * pack.discharge_efficiency;
+    if (delivered_want > depletable + 1e-9 || draw_kw > pack.discharge_rate_kw) {
+      r.survived = false;
+      break;
+    }
+    soc -= delivered_want / pack.discharge_efficiency;
+    r.energy_used_kwh += delivered_want;
+    r.slots_survived += 1.0;
+  }
+  r.final_soc_kwh = soc;
+  return r;
+}
+
+SurvivalStats outage_survival(const battery::BatteryConfig& pack, double floor_soc_kwh,
+                              const std::vector<double>& bs_kw, const OutageModel& model,
+                              double dt_hours, std::size_t trials, Rng rng) {
+  if (trials == 0) throw std::invalid_argument("outage_survival: trials == 0");
+  if (bs_kw.empty()) throw std::invalid_argument("outage_survival: empty BS trace");
+  SurvivalStats stats;
+  stats.trials = trials;
+  for (std::size_t k = 0; k < trials; ++k) {
+    const auto start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bs_kw.size()) - 1));
+    const double dur_h = rng.uniform(model.min_duration_h, model.max_duration_h);
+    const auto dur_slots = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(dur_h / dt_hours)));
+    std::vector<double> window;
+    window.reserve(dur_slots);
+    for (std::size_t i = 0; i < dur_slots; ++i) {
+      window.push_back(bs_kw[(start + i) % bs_kw.size()]);
+    }
+    const RideThroughResult r = ride_through(pack, floor_soc_kwh, window, dt_hours);
+    if (r.survived) stats.survival_rate += 1.0;
+    stats.mean_slots_survived += r.slots_survived;
+  }
+  stats.survival_rate /= static_cast<double>(trials);
+  stats.mean_slots_survived /= static_cast<double>(trials);
+  return stats;
+}
+
+}  // namespace ecthub::core

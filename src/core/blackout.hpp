@@ -1,0 +1,71 @@
+// Blackout (grid-outage) simulation — failure injection for the reserve
+// design of Eq. 6.
+//
+// The whole point of the SoC floor is that the base station must ride
+// through a grid outage on battery alone until the grid recovers.  This
+// module injects outages into a hub's exogenous series and reports whether
+// communication survived: the validation the paper's constraint implies but
+// never exercises.
+#pragma once
+
+#include "battery/battery_pack.hpp"
+#include "common/rng.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::core {
+
+struct OutageEvent {
+  std::size_t start_slot = 0;
+  std::size_t duration_slots = 0;
+};
+
+struct OutageModel {
+  /// Expected outages per 30 days.
+  double rate_per_month = 1.0;
+  /// Outage duration, uniform in [min, max] hours.
+  double min_duration_h = 1.0;
+  double max_duration_h = 8.0;
+};
+
+/// Draws outage events over a horizon of `num_slots` slots of `dt_hours`.
+[[nodiscard]] std::vector<OutageEvent> draw_outages(const OutageModel& model,
+                                                    std::size_t num_slots, double dt_hours,
+                                                    Rng& rng);
+
+/// Result of riding one outage on battery.
+struct RideThroughResult {
+  bool survived = false;        ///< BS never lost power
+  double slots_survived = 0;    ///< slots carried before depletion
+  double energy_used_kwh = 0;   ///< battery energy consumed (bus side)
+  double final_soc_kwh = 0;
+};
+
+/// Simulates a BS carried by the pack during an outage: every slot the pack
+/// must deliver the BS draw (charging stations shut down during outages; the
+/// full pack down to soc_min — not just the tradable band — is available,
+/// which is exactly what the reserve floor protects).
+/// @param bs_kw      BS power draw per slot across the outage window
+/// @param soc_kwh    pack state of charge when the outage hits
+[[nodiscard]] RideThroughResult ride_through(const battery::BatteryConfig& pack,
+                                             double soc_kwh,
+                                             const std::vector<double>& bs_kw,
+                                             double dt_hours);
+
+/// Fraction of `trials` random outages survived when the pack sits at its
+/// reserve floor — the Eq. 6 guarantee check.  `bs_kw` is a representative
+/// load trace the outages are drawn over.
+struct SurvivalStats {
+  double survival_rate = 0.0;
+  double mean_slots_survived = 0.0;
+  std::size_t trials = 0;
+};
+
+[[nodiscard]] SurvivalStats outage_survival(const battery::BatteryConfig& pack,
+                                            double floor_soc_kwh,
+                                            const std::vector<double>& bs_kw,
+                                            const OutageModel& model, double dt_hours,
+                                            std::size_t trials, Rng rng);
+
+}  // namespace ecthub::core

@@ -1,0 +1,62 @@
+#include "core/fleet.hpp"
+
+#include "common/stats.hpp"
+
+#include <stdexcept>
+
+namespace ecthub::core {
+
+double average_daily_reward(const std::vector<std::vector<double>>& daily_per_ep) {
+  if (daily_per_ep.empty()) throw std::invalid_argument("average_daily_reward: empty input");
+  double acc = 0.0;
+  std::size_t days = 0;
+  for (const auto& ep : daily_per_ep) {
+    for (double d : ep) {
+      acc += d;
+      ++days;
+    }
+  }
+  if (days == 0) throw std::invalid_argument("average_daily_reward: no days");
+  return acc / static_cast<double>(days);
+}
+
+HubMethodResult run_hub_experiment(const HubConfig& hub,
+                                   const std::vector<bool>& discount_by_hour,
+                                   const DrlExperimentConfig& cfg,
+                                   const std::string& method_name) {
+  HubEnvConfig env_cfg = cfg.env;
+  env_cfg.discount_by_hour = discount_by_hour;
+  EctHubEnv env(hub, env_cfg);
+
+  rl::ActorCriticConfig ac_cfg;
+  ac_cfg.state_dim = env.state_dim();
+  ac_cfg.action_count = env.action_count();
+  rl::PpoTrainer trainer(cfg.ppo, ac_cfg, nn::Rng(cfg.ppo_seed));
+
+  HubMethodResult result;
+  result.hub = hub.name;
+  result.method = method_name;
+
+  const auto history = trainer.train(env, cfg.train_iterations);
+  result.train_curve.reserve(history.size());
+  for (const auto& h : history) result.train_curve.push_back(h.mean_episode_reward);
+
+  // Test episodes under the greedy policy; the ledger gives per-day profits.
+  std::vector<std::vector<double>> daily_per_ep;
+  daily_per_ep.reserve(cfg.test_episodes);
+  for (std::size_t e = 0; e < cfg.test_episodes; ++e) {
+    std::vector<double> state = env.reset();
+    bool done = false;
+    while (!done) {
+      const rl::StepResult r = env.step(trainer.policy().act_greedy(state));
+      state = r.next_state;
+      done = r.done;
+    }
+    daily_per_ep.push_back(env.ledger().daily_profit());
+  }
+  result.avg_daily_reward = average_daily_reward(daily_per_ep);
+  result.daily_rewards = daily_per_ep.front();
+  return result;
+}
+
+}  // namespace ecthub::core

@@ -1,0 +1,43 @@
+// Fleet experiment driver for Table III and Fig. 13.
+//
+// For each hub and each pricing method (ECT-Price / OR / IPS / DR), the
+// driver wires the method's discount schedule into the hub environment,
+// trains an ECT-DRL (PPO) scheduler on it, then evaluates the greedy policy:
+//   - Table III: average daily reward over the test episodes;
+//   - Fig. 13:  the per-day reward series of one test episode.
+#pragma once
+
+#include "core/hub_env.hpp"
+#include "rl/ppo.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ecthub::core {
+
+struct DrlExperimentConfig {
+  HubEnvConfig env;
+  rl::PpoConfig ppo;
+  std::size_t train_iterations = 10;  ///< PPO collect+update cycles
+  std::size_t test_episodes = 5;
+  std::uint64_t ppo_seed = 99;
+};
+
+struct HubMethodResult {
+  std::string hub;
+  std::string method;
+  double avg_daily_reward = 0.0;        ///< Table III cell
+  std::vector<double> daily_rewards;    ///< Fig. 13 series (one test episode)
+  std::vector<double> train_curve;      ///< mean episode reward per iteration
+};
+
+/// Trains and evaluates ECT-DRL on one hub under one hourly discount schedule.
+[[nodiscard]] HubMethodResult run_hub_experiment(const HubConfig& hub,
+                                                 const std::vector<bool>& discount_by_hour,
+                                                 const DrlExperimentConfig& cfg,
+                                                 const std::string& method_name);
+
+/// Average of the daily-profit means across test episodes.
+[[nodiscard]] double average_daily_reward(const std::vector<std::vector<double>>& daily_per_ep);
+
+}  // namespace ecthub::core

@@ -1,0 +1,189 @@
+#include "core/hub_env.hpp"
+
+#include "battery/reserve.hpp"
+#include "power/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ecthub::core {
+
+namespace {
+// State normalization scales: keep every channel roughly in [0, 2].
+constexpr double kPriceScale = 100.0;   // $/MWh
+constexpr double kGhiScale = 1000.0;    // W/m^2
+constexpr double kWindScale = 25.0;     // m/s
+}  // namespace
+
+EctHubEnv::EctHubEnv(HubConfig hub, HubEnvConfig env_cfg)
+    : hub_(std::move(hub)), cfg_(env_cfg), rng_(hub_.seed) {
+  if (cfg_.episode_days == 0) throw std::invalid_argument("HubEnvConfig: episode_days == 0");
+  if (cfg_.slots_per_day == 0) throw std::invalid_argument("HubEnvConfig: slots_per_day == 0");
+  if (cfg_.lookback == 0) throw std::invalid_argument("HubEnvConfig: lookback == 0");
+  if (!cfg_.discount_by_hour.empty() && cfg_.discount_by_hour.size() != 24) {
+    throw std::invalid_argument("HubEnvConfig: discount_by_hour must have 24 entries");
+  }
+  if (cfg_.discount_fraction < 0.0 || cfg_.discount_fraction >= 1.0) {
+    throw std::invalid_argument("HubEnvConfig: discount_fraction out of [0, 1)");
+  }
+  if (!(0.0 <= cfg_.init_soc_lo && cfg_.init_soc_lo <= cfg_.init_soc_hi &&
+        cfg_.init_soc_hi <= 1.0)) {
+    throw std::invalid_argument("HubEnvConfig: bad init SoC range");
+  }
+}
+
+std::size_t EctHubEnv::state_dim() const {
+  // 5 channels (RTP, GHI, wind, traffic, SRTP) x lookback + SoC + hour phase.
+  return 5 * cfg_.lookback + 1 + 2;
+}
+
+double EctHubEnv::hour_of_day(std::size_t t) const {
+  const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
+  return grid.hour_of_day(t);
+}
+
+void EctHubEnv::generate_episode() {
+  const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
+
+  // Traffic drives both BS power (Eq. 1) and the RTP load coupling (Fig. 5).
+  traffic::TrafficGenerator traffic_gen(hub_.traffic, rng_.fork());
+  const traffic::TrafficTrace trace = traffic_gen.generate(grid);
+  load_rate_ = trace.load_rate;
+  const power::BaseStation bs(hub_.bs);
+  bs_kw_ = bs.series(load_rate_);
+
+  // Weather -> renewables.
+  weather::WeatherGenerator wx_gen(hub_.weather, rng_.fork());
+  const weather::WeatherSeries wx = wx_gen.generate(grid);
+  ghi_ = wx.ghi_wm2;
+  wind_ = wx.wind_speed_ms;
+  const renewables::RenewablePlant plant(hub_.plant);
+  const renewables::GenerationSeries gen = plant.generate(wx);
+  pv_kw_ = gen.pv_w;
+  wt_kw_ = gen.wt_w;
+  // Plant model reports watts; the hub works in kW.
+  for (double& p : pv_kw_) p /= 1000.0;
+  for (double& p : wt_kw_) p /= 1000.0;
+  renewable_kw_.assign(grid.size(), 0.0);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    renewable_kw_[t] = pv_kw_[t] + wt_kw_[t];
+  }
+
+  // Prices (coupled to system load) and the discounted selling price.
+  pricing::RtpGenerator rtp_gen(hub_.rtp, rng_.fork());
+  rtp_ = rtp_gen.generate(grid, load_rate_);
+
+  std::vector<bool> discounted(grid.size(), false);
+  if (!cfg_.discount_by_hour.empty()) {
+    for (std::size_t t = 0; t < grid.size(); ++t) {
+      const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
+      discounted[t] = cfg_.discount_by_hour[hour % 24];
+    }
+  }
+  const pricing::SellingPricePolicy selling(
+      hub_.selling,
+      pricing::DiscountSchedule::from_flags(discounted, cfg_.discount_fraction));
+  srtp_ = selling.series(rtp_);
+
+  // EV occupancy under the discount schedule.
+  const ev::StrataProfile profile(hub_.ev_popularity, hub_.ev_evening_sensitivity,
+                                  hub_.ev_evening_commuter);
+  const ev::ChargingStation station(hub_.station, profile);
+  Rng ev_rng = rng_.fork();
+  const ev::OccupancySeries occ = station.simulate(grid, discounted, ev_rng);
+  cs_kw_ = occ.power_kw;
+
+  // Battery with the Eq. 6 blackout reserve floor.
+  pack_ = std::make_unique<battery::BatteryPack>(
+      hub_.battery, rng_.uniform(cfg_.init_soc_lo, cfg_.init_soc_hi));
+  const auto recovery_slots = static_cast<std::size_t>(
+      std::ceil(hub_.recovery_hours / grid.slot_hours()));
+  if (recovery_slots > 0) {
+    const double reserve_kwh = battery::reserve_energy_worst_window(
+        bs_kw_, std::min(recovery_slots, bs_kw_.size()), grid.slot_hours());
+    const double floor_frac = battery::reserve_floor_fraction(
+        reserve_kwh, hub_.battery.capacity_kwh, hub_.battery.discharge_efficiency);
+    const double floor_kwh =
+        std::clamp(floor_frac * hub_.battery.capacity_kwh, pack_->soc_min_kwh(),
+                   pack_->soc_max_kwh());
+    pack_->set_reserve_floor_kwh(floor_kwh);
+  }
+
+  ledger_ = std::make_unique<ProfitLedger>(cfg_.slots_per_day);
+  t_ = 0;
+  episode_ready_ = true;
+}
+
+std::vector<double> EctHubEnv::observe() const {
+  std::vector<double> state;
+  state.reserve(state_dim());
+  const auto window = [&](const std::vector<double>& series, double scale) {
+    for (std::size_t k = cfg_.lookback; k-- > 0;) {
+      // Slots t-k .. t; pad the episode start with the first value.
+      const std::size_t idx = t_ >= k ? t_ - k : 0;
+      state.push_back(series[idx] / scale);
+    }
+  };
+  window(rtp_, kPriceScale);
+  window(ghi_, kGhiScale);
+  window(wind_, kWindScale);
+  window(load_rate_, 1.0);
+  window(srtp_, kPriceScale);
+  state.push_back(pack_->soc_frac());
+  const double hour = hour_of_day(t_);
+  state.push_back(std::sin(2.0 * std::numbers::pi * hour / 24.0));
+  state.push_back(std::cos(2.0 * std::numbers::pi * hour / 24.0));
+  return state;
+}
+
+std::vector<double> EctHubEnv::reset() {
+  generate_episode();
+  return observe();
+}
+
+rl::StepResult EctHubEnv::step(std::size_t action) {
+  if (!episode_ready_) throw std::logic_error("EctHubEnv::step before reset");
+  if (action >= action_count()) throw std::invalid_argument("EctHubEnv::step: bad action");
+  if (t_ >= slots_per_episode()) throw std::logic_error("EctHubEnv::step after episode end");
+
+  const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
+  const double dt = grid.slot_hours();
+
+  auto bp_action = battery::BpAction::kIdle;
+  if (action == 1) bp_action = battery::BpAction::kCharge;
+  if (action == 2) bp_action = battery::BpAction::kDischarge;
+  // Discharge is throttled to the hub's net load: the DC bus cannot absorb
+  // more than BS + CS demand net of renewables, and there is no grid feed-in.
+  const double net_load_kw =
+      std::max(0.0, bs_kw_[t_] + cs_kw_[t_] - wt_kw_[t_] - pv_kw_[t_]);
+  const battery::BpStepResult bp = pack_->step(bp_action, dt, net_load_kw);
+
+  const power::PowerFlow flow{bs_kw_[t_], cs_kw_[t_], bp.bus_power_kw, wt_kw_[t_], pv_kw_[t_]};
+  const SlotEconomics econ =
+      slot_economics(flow.cs_kw, flow.grid_kw(), srtp_[t_], rtp_[t_], bp.op_cost, dt);
+  ledger_->record(econ);
+
+  double reward = econ.profit();
+  if (cfg_.shaped_reward) {
+    const power::PowerFlow idle_flow{bs_kw_[t_], cs_kw_[t_], 0.0, wt_kw_[t_], pv_kw_[t_]};
+    const SlotEconomics idle_econ =
+        slot_economics(idle_flow.cs_kw, idle_flow.grid_kw(), srtp_[t_], rtp_[t_], 0.0, dt);
+    reward = econ.profit() - idle_econ.profit();
+  }
+
+  ++t_;
+  rl::StepResult result;
+  result.reward = reward;
+  result.done = t_ >= slots_per_episode();
+  if (!result.done) {
+    result.next_state = observe();
+  } else {
+    result.next_state.assign(state_dim(), 0.0);
+    episode_ready_ = false;
+  }
+  return result;
+}
+
+}  // namespace ecthub::core

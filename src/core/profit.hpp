@@ -1,0 +1,63 @@
+// Profit accounting (paper Eqs. 8-12).
+//
+//   C_grid(t) = P_grid(t) * RTP(t)            (Eq. 9)
+//   C_BP(t)   = |S_BP(t)| * c_BP              (Eq. 8)
+//   CR        = sum_t P_CS(t) * SRTP(t)       (Eq. 11)
+//   Psi       = CR - sum_t [C_grid + C_BP]    (Eq. 12)
+// Prices are $/MWh and power is kW, so each slot's dollar value is
+// energy_kWh * price / 1000.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::core {
+
+/// Dollar economics of one slot.
+struct SlotEconomics {
+  double revenue = 0.0;    ///< P_CS * SRTP
+  double grid_cost = 0.0;  ///< P_grid * RTP
+  double bp_cost = 0.0;    ///< |S_BP| * c_BP
+
+  [[nodiscard]] double profit() const { return revenue - grid_cost - bp_cost; }
+};
+
+/// Computes one slot's economics.
+/// @param cs_kw     charging-station draw, kW
+/// @param grid_kw   grid import, kW
+/// @param srtp      selling price, $/MWh
+/// @param rtp       grid price, $/MWh
+/// @param bp_cost   battery wear cost already in dollars (Eq. 8)
+/// @param dt_hours  slot length
+[[nodiscard]] SlotEconomics slot_economics(double cs_kw, double grid_kw, double srtp,
+                                           double rtp, double bp_cost, double dt_hours);
+
+/// Running accumulator with per-day aggregation.
+class ProfitLedger {
+ public:
+  explicit ProfitLedger(std::size_t slots_per_day);
+
+  void record(const SlotEconomics& e);
+
+  [[nodiscard]] double total_revenue() const noexcept { return revenue_; }
+  [[nodiscard]] double total_grid_cost() const noexcept { return grid_cost_; }
+  [[nodiscard]] double total_bp_cost() const noexcept { return bp_cost_; }
+  [[nodiscard]] double total_profit() const noexcept {
+    return revenue_ - grid_cost_ - bp_cost_;
+  }
+
+  /// Profit of each completed (or partially completed) day.
+  [[nodiscard]] const std::vector<double>& daily_profit() const noexcept { return daily_; }
+
+  [[nodiscard]] std::size_t slots_recorded() const noexcept { return slots_; }
+
+ private:
+  std::size_t slots_per_day_;
+  std::size_t slots_ = 0;
+  double revenue_ = 0.0;
+  double grid_cost_ = 0.0;
+  double bp_cost_ = 0.0;
+  std::vector<double> daily_;
+};
+
+}  // namespace ecthub::core

@@ -1,0 +1,105 @@
+#include "core/schedulers.hpp"
+
+#include "common/stats.hpp"
+
+#include <stdexcept>
+
+namespace ecthub::core {
+
+namespace {
+bool in_window(double hour, double start, double end) {
+  return start <= end ? (hour >= start && hour < end) : (hour >= start || hour < end);
+}
+}  // namespace
+
+std::size_t NoBatteryScheduler::decide(const EctHubEnv&) { return 0; }
+
+TouScheduler::TouScheduler(double charge_start, double charge_end, double discharge_start,
+                           double discharge_end)
+    : cs_(charge_start), ce_(charge_end), ds_(discharge_start), de_(discharge_end) {}
+
+std::size_t TouScheduler::decide(const EctHubEnv& env) {
+  const double hour = env.hour_of_day(env.current_slot());
+  if (in_window(hour, cs_, ce_)) return 1;  // charge off-peak
+  if (in_window(hour, ds_, de_)) return 2;  // discharge at peak
+  return 0;
+}
+
+GreedyPriceScheduler::GreedyPriceScheduler(double low_quantile, double high_quantile)
+    : low_q_(low_quantile), high_q_(high_quantile) {
+  if (!(0.0 <= low_quantile && low_quantile < high_quantile && high_quantile <= 100.0)) {
+    throw std::invalid_argument("GreedyPriceScheduler: bad quantiles");
+  }
+}
+
+std::size_t GreedyPriceScheduler::decide(const EctHubEnv& env) {
+  const std::size_t t = env.current_slot();
+  // Trailing window of prices seen so far this episode (min one day).
+  const std::size_t window = std::max<std::size_t>(24, 1);
+  const std::size_t lo = t >= window ? t - window : 0;
+  std::vector<double> seen;
+  seen.reserve(t - lo + 1);
+  for (std::size_t k = lo; k <= t; ++k) seen.push_back(env.rtp_at(k));
+  const double p_lo = stats::percentile(seen, low_q_);
+  const double p_hi = stats::percentile(seen, high_q_);
+  const double now = env.rtp_at(t);
+  if (now <= p_lo) return 1;
+  if (now >= p_hi) return 2;
+  return 0;
+}
+
+ForecastScheduler::ForecastScheduler(double low_band, double high_band)
+    : low_band_(low_band), high_band_(high_band), price_forecast_(24) {
+  if (!(0.0 <= low_band && low_band < high_band && high_band <= 1.0)) {
+    throw std::invalid_argument("ForecastScheduler: bad bands");
+  }
+}
+
+std::size_t ForecastScheduler::decide(const EctHubEnv& env) {
+  const std::size_t t = env.current_slot();
+  // New episode (slot counter went backwards): keep the learned curve — the
+  // diurnal structure persists across episodes.
+  if (any_observed_ && t < last_observed_) last_observed_ = 0;
+  // Feed all realized prices up to the current slot.
+  const std::size_t from = any_observed_ ? last_observed_ : 0;
+  for (std::size_t k = from; k <= t; ++k) price_forecast_.observe(k, env.rtp_at(k));
+  last_observed_ = t;
+  any_observed_ = true;
+
+  // Predicted daily curve and its band edges.
+  double lo = price_forecast_.predict(0), hi = lo;
+  for (std::size_t h = 1; h < 24; ++h) {
+    const double p = price_forecast_.predict(h);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  if (hi - lo < 1e-9) return 0;
+  const double now = price_forecast_.predict(t);
+  const double pos = (now - lo) / (hi - lo);
+  if (pos <= low_band_) return 1;   // cheap part of the predicted day: charge
+  if (pos >= high_band_) return 2;  // expensive part: discharge
+  return 0;
+}
+
+RandomScheduler::RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t RandomScheduler::decide(const EctHubEnv&) {
+  return static_cast<std::size_t>(rng_.uniform_int(0, 2));
+}
+
+std::vector<double> run_scheduler(EctHubEnv& env, Scheduler& sched, std::size_t episodes) {
+  std::vector<double> profits;
+  profits.reserve(episodes);
+  for (std::size_t e = 0; e < episodes; ++e) {
+    env.reset();
+    bool done = false;
+    while (!done) {
+      done = env.step(sched.decide(env)).done;
+    }
+    // True episode profit from the ledger (env rewards may be shaped for RL).
+    profits.push_back(env.ledger().total_profit());
+  }
+  return profits;
+}
+
+}  // namespace ecthub::core

@@ -1,0 +1,93 @@
+// Rule-based battery schedulers: ablation baselines against ECT-DRL.
+//
+// These implement the obvious operating strategies an operator would try
+// before reaching for RL; the ablation bench (DESIGN.md Sec. 5) measures how
+// much of ECT-DRL's profit each heuristic captures.
+#pragma once
+
+#include "core/hub_env.hpp"
+#include "forecast/predictors.hpp"
+
+#include <memory>
+#include <string>
+
+namespace ecthub::core {
+
+/// A scheduler maps the environment's public slot context to a BP action
+/// (0 = idle, 1 = charge, 2 = discharge — the EctHubEnv action encoding).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::size_t decide(const EctHubEnv& env) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Never uses the battery (the no-BESS operating point).
+class NoBatteryScheduler final : public Scheduler {
+ public:
+  std::size_t decide(const EctHubEnv& env) override;
+  [[nodiscard]] std::string name() const override { return "NoBattery"; }
+};
+
+/// Charges during a fixed off-peak window and discharges during the evening
+/// peak — the classic time-of-use rule.
+class TouScheduler final : public Scheduler {
+ public:
+  TouScheduler(double charge_start = 23.0, double charge_end = 7.0,
+               double discharge_start = 17.0, double discharge_end = 22.0);
+  std::size_t decide(const EctHubEnv& env) override;
+  [[nodiscard]] std::string name() const override { return "TOU"; }
+
+ private:
+  double cs_, ce_, ds_, de_;
+};
+
+/// Price-threshold arbitrage: charge when the current RTP is below the
+/// episode-so-far low quantile, discharge above the high quantile.
+class GreedyPriceScheduler final : public Scheduler {
+ public:
+  GreedyPriceScheduler(double low_quantile = 30.0, double high_quantile = 70.0);
+  std::size_t decide(const EctHubEnv& env) override;
+  [[nodiscard]] std::string name() const override { return "GreedyPrice"; }
+
+ private:
+  double low_q_, high_q_;
+};
+
+/// Forecast-driven arbitrage: learns the diurnal price curve online with a
+/// seasonal-naive forecaster and charges/discharges when the *forecast* for
+/// the current hour sits in the low/high band of the predicted daily curve.
+/// Unlike GreedyPriceScheduler it reacts to the expected price shape rather
+/// than realized quantiles — the interpretable middle ground between the
+/// TOU rule and ECT-DRL.
+class ForecastScheduler final : public Scheduler {
+ public:
+  /// @param low_band / high_band fractions of the predicted daily range
+  ForecastScheduler(double low_band = 0.3, double high_band = 0.7);
+  std::size_t decide(const EctHubEnv& env) override;
+  [[nodiscard]] std::string name() const override { return "Forecast"; }
+
+ private:
+  double low_band_, high_band_;
+  forecast::SeasonalNaivePredictor price_forecast_;
+  std::size_t last_observed_ = 0;
+  bool any_observed_ = false;
+};
+
+/// Uniform random action — the sanity-check floor.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 1);
+  std::size_t decide(const EctHubEnv& env) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Runs `episodes` full episodes of `env` under `sched`; returns per-episode
+/// total profit.
+[[nodiscard]] std::vector<double> run_scheduler(EctHubEnv& env, Scheduler& sched,
+                                                std::size_t episodes);
+
+}  // namespace ecthub::core

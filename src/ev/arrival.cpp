@@ -1,0 +1,46 @@
+#include "ev/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::ev {
+
+std::array<double, 24> default_arrival_profile() {
+  // Quiet 0-5h, ramp from 6h, broad 10-16h plateau, evening bump ~18-20h.
+  return {0.06, 0.04, 0.03, 0.03, 0.04, 0.08, 0.18, 0.38, 0.62, 0.82,
+          0.95, 1.00, 0.97, 0.92, 0.90, 0.85, 0.78, 0.72, 0.66, 0.55,
+          0.40, 0.28, 0.16, 0.10};
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng), profile_(default_arrival_profile()) {
+  if (cfg_.peak_rate_per_hour < 0.0) {
+    throw std::invalid_argument("ArrivalConfig: peak_rate_per_hour < 0");
+  }
+  if (cfg_.discount_uplift < 1.0) {
+    throw std::invalid_argument("ArrivalConfig: discount_uplift must be >= 1");
+  }
+}
+
+double ArrivalProcess::intensity(const TimeGrid& grid, std::size_t t, bool discounted) const {
+  const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
+  double rate = cfg_.peak_rate_per_hour * profile_[hour % 24];
+  if (grid.is_weekend(t)) rate *= cfg_.weekend_factor;
+  if (discounted) rate *= cfg_.discount_uplift;
+  return rate;
+}
+
+std::vector<std::uint64_t> ArrivalProcess::generate(const TimeGrid& grid,
+                                                    const std::vector<bool>& discounted) {
+  if (!discounted.empty() && discounted.size() != grid.size()) {
+    throw std::invalid_argument("ArrivalProcess: discounted length must match grid");
+  }
+  std::vector<std::uint64_t> counts(grid.size(), 0);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const bool disc = !discounted.empty() && discounted[t];
+    counts[t] = rng_.poisson(intensity(grid, t, disc) * grid.slot_hours());
+  }
+  return counts;
+}
+
+}  // namespace ecthub::ev

@@ -1,0 +1,48 @@
+// EV arrival process at a charging station.
+//
+// A nonhomogeneous Poisson process whose intensity follows the diurnal shape
+// of the paper's Fig. 3 (70k records, 12 stations, 3 years): quiet nights, a
+// morning ramp, a broad midday/afternoon plateau and an early-evening bump.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time_grid.hpp"
+
+#include <array>
+#include <vector>
+
+namespace ecthub::ev {
+
+struct ArrivalConfig {
+  /// Expected arrivals per hour at the busiest hour.
+  double peak_rate_per_hour = 4.0;
+  /// Weekend multiplier on the intensity.
+  double weekend_factor = 1.1;
+  /// Multiplier applied when a discount is active: discounts attract EVs.
+  double discount_uplift = 1.6;
+};
+
+/// Normalized diurnal intensity profile (peak = 1) matching Fig. 3.
+[[nodiscard]] std::array<double, 24> default_arrival_profile();
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig cfg, Rng rng);
+
+  /// Arrival counts per slot.  `discounted` (optional, per-slot) scales the
+  /// intensity by discount_uplift where true.
+  [[nodiscard]] std::vector<std::uint64_t> generate(
+      const TimeGrid& grid, const std::vector<bool>& discounted = {});
+
+  /// Expected (not sampled) intensity at a slot, arrivals per hour.
+  [[nodiscard]] double intensity(const TimeGrid& grid, std::size_t t, bool discounted) const;
+
+  [[nodiscard]] const ArrivalConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ArrivalConfig cfg_;
+  Rng rng_;
+  std::array<double, 24> profile_;
+};
+
+}  // namespace ecthub::ev

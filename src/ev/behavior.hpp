@@ -1,0 +1,81 @@
+// EV charging-behavior strata — the causal ground truth of the simulator.
+//
+// ECT-Price (paper Sec. IV-A) stratifies (station, time-slot) items into
+//   Always Charge    — an EV charges whether or not a discount is offered,
+//   Incentive Charge — an EV charges only if a discount is offered,
+//   No Charge        — no EV charges either way.
+// The paper labels its proprietary dataset heuristically (NCF ratings); our
+// simulator instead *owns* the ground truth: every (station, hour) has true
+// strata probabilities, so stratification quality is directly measurable.
+//
+// Shapes follow the paper's findings (Fig. 11-12): Incentive mass concentrates
+// in the 18:00-24:00 period; Always dominates daytime; None is the majority
+// class overall.
+#pragma once
+
+#include "common/rng.hpp"
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ecthub::ev {
+
+enum class Stratum { kNone = 0, kIncentive = 1, kAlways = 2 };
+
+[[nodiscard]] std::string to_string(Stratum s);
+
+/// True strata probabilities for one (station, hour) cell; sums to 1.
+struct StrataProbs {
+  double p_none = 1.0;
+  double p_incentive = 0.0;
+  double p_always = 0.0;
+
+  void normalize();
+};
+
+/// Per-station behaviour profile: strata probabilities for each hour of day,
+/// shaped by the station's popularity and its evening price sensitivity.
+class StrataProfile {
+ public:
+  /// @param popularity         overall demand scale in (0, 1]; scales Always
+  ///                           and Incentive mass.
+  /// @param evening_sensitivity in [0, 1]; how strongly Incentive mass
+  ///                           concentrates in the 18-24h window.
+  /// @param evening_commuter   in [0, 1]; adds *Always* mass in the evening
+  ///                           (commuters who charge after work regardless of
+  ///                           price).  This is the "Always Buyer in the
+  ///                           high-uplift window" the paper's stratification
+  ///                           exists to avoid: at such stations a pure
+  ///                           uplift ranking discounts evening slots whose
+  ///                           charging would have happened anyway.
+  StrataProfile(double popularity, double evening_sensitivity,
+                double evening_commuter = 0.0);
+
+  /// Randomized profile for a station (popularity ~ U[0.5, 1],
+  /// sensitivity ~ U[0.4, 0.9], commuter ~ U[0, 0.7]).
+  static StrataProfile random_station(Rng& rng);
+
+  [[nodiscard]] const StrataProbs& at_hour(std::size_t hour) const;
+
+  /// Samples the true stratum of one item.
+  [[nodiscard]] Stratum sample(std::size_t hour, Rng& rng) const;
+
+  [[nodiscard]] double popularity() const noexcept { return popularity_; }
+  [[nodiscard]] double evening_sensitivity() const noexcept { return evening_sensitivity_; }
+  [[nodiscard]] double evening_commuter() const noexcept { return evening_commuter_; }
+
+ private:
+  double popularity_;
+  double evening_sensitivity_;
+  double evening_commuter_;
+  std::array<StrataProbs, 24> hourly_;
+};
+
+/// Realized outcome: does an EV charge given the item's true stratum and
+/// whether a discount was offered?  Small label noise keeps the learning
+/// problem realistic (paper's data is observational, not clean).
+/// @param noise probability of flipping the deterministic outcome.
+[[nodiscard]] bool charges(Stratum s, bool discounted, Rng& rng, double noise = 0.03);
+
+}  // namespace ecthub::ev

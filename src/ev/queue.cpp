@@ -1,0 +1,112 @@
+#include "ev/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace ecthub::ev {
+
+MmsMetrics mms_metrics(const MmsConfig& cfg) {
+  if (cfg.arrival_rate <= 0.0 || cfg.service_rate <= 0.0 || cfg.servers == 0) {
+    throw std::invalid_argument("mms_metrics: non-positive parameters");
+  }
+  const double s = static_cast<double>(cfg.servers);
+  const double a = cfg.arrival_rate / cfg.service_rate;  // offered load (Erlangs)
+  const double rho = a / s;
+  if (rho >= 1.0) throw std::invalid_argument("mms_metrics: unstable queue (rho >= 1)");
+
+  // Erlang-C: P(wait) = (a^s / s!) / ((1-rho) sum_{k<s} a^k/k! + a^s/s!).
+  double sum = 0.0;
+  double term = 1.0;  // a^k / k!, k = 0
+  for (std::size_t k = 0; k < cfg.servers; ++k) {
+    sum += term;
+    term *= a / static_cast<double>(k + 1);
+  }
+  // term now holds a^s / s!.
+  const double erlang_c = term / ((1.0 - rho) * sum + term);
+
+  MmsMetrics m;
+  m.utilization = rho;
+  m.p_wait = erlang_c;
+  m.mean_queue_len = erlang_c * rho / (1.0 - rho);
+  m.mean_wait_h = m.mean_queue_len / cfg.arrival_rate;
+  m.mean_in_system = m.mean_queue_len + a;
+  return m;
+}
+
+MmsSimResult simulate_mms(const MmsConfig& cfg, double horizon_hours, Rng rng,
+                          double warmup_fraction) {
+  if (horizon_hours <= 0.0) throw std::invalid_argument("simulate_mms: horizon <= 0");
+  if (warmup_fraction < 0.0 || warmup_fraction >= 1.0) {
+    throw std::invalid_argument("simulate_mms: warmup_fraction out of [0, 1)");
+  }
+  if (cfg.arrival_rate <= 0.0 || cfg.service_rate <= 0.0 || cfg.servers == 0) {
+    throw std::invalid_argument("simulate_mms: non-positive parameters");
+  }
+  const double warmup_end = horizon_hours * warmup_fraction;
+
+  // Event-driven: maintain the completion times of busy servers and a FIFO
+  // of waiting arrivals.
+  std::priority_queue<double, std::vector<double>, std::greater<>> busy_until;
+  std::queue<double> waiting;  // arrival times
+  MmsSimResult result;
+  double total_wait = 0.0, total_system = 0.0;
+  std::size_t counted = 0, waited = 0;
+
+  double t = rng.exponential(cfg.arrival_rate);
+  while (t < horizon_hours) {
+    // Free all servers done before this arrival; assign waiting EVs in order.
+    while (!busy_until.empty() && busy_until.top() <= t) {
+      const double freed_at = busy_until.top();
+      busy_until.pop();
+      if (!waiting.empty()) {
+        const double arrived = waiting.front();
+        waiting.pop();
+        const double start = freed_at;
+        const double service = rng.exponential(cfg.service_rate);
+        busy_until.push(start + service);
+        if (arrived >= warmup_end) {
+          total_wait += start - arrived;
+          total_system += (start - arrived) + service;
+          ++waited;
+          ++counted;
+        }
+      }
+    }
+    if (busy_until.size() < cfg.servers) {
+      const double service = rng.exponential(cfg.service_rate);
+      busy_until.push(t + service);
+      if (t >= warmup_end) {
+        total_system += service;
+        ++counted;
+      }
+    } else {
+      waiting.push(t);
+    }
+    t += rng.exponential(cfg.arrival_rate);
+  }
+  result.arrivals = counted;
+  if (counted > 0) {
+    result.mean_wait_h = total_wait / static_cast<double>(counted);
+    result.mean_in_system = total_system / static_cast<double>(counted);
+    result.fraction_waited = static_cast<double>(waited) / static_cast<double>(counted);
+  }
+  return result;
+}
+
+std::size_t size_station(double arrival_rate, double service_rate, double max_wait_hours,
+                         std::size_t max_servers) {
+  if (max_wait_hours <= 0.0) throw std::invalid_argument("size_station: max_wait <= 0");
+  for (std::size_t s = 1; s <= max_servers; ++s) {
+    MmsConfig cfg;
+    cfg.arrival_rate = arrival_rate;
+    cfg.service_rate = service_rate;
+    cfg.servers = s;
+    if (arrival_rate >= service_rate * static_cast<double>(s)) continue;  // unstable
+    if (mms_metrics(cfg).mean_wait_h <= max_wait_hours) return s;
+  }
+  throw std::invalid_argument("size_station: no feasible plug count up to max_servers");
+}
+
+}  // namespace ecthub::ev

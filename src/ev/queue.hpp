@@ -1,0 +1,54 @@
+// M/M/s queueing model of a charging station (paper ref [29] models highway
+// rapid-charging demand with fluid traffic + M/M/s queues).
+//
+// Provides both the closed-form stationary metrics (Erlang-C) and a
+// discrete-event simulator, so station sizing (how many plugs?) can be
+// analyzed analytically and the simulator cross-validated against theory —
+// a property-test pairing.
+#pragma once
+
+#include "common/rng.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::ev {
+
+struct MmsConfig {
+  double arrival_rate = 2.0;   ///< lambda, EVs per hour
+  double service_rate = 1.5;   ///< mu, charge completions per hour per plug
+  std::size_t servers = 2;     ///< s, plugs
+};
+
+/// Stationary metrics of the M/M/s queue (requires lambda < s * mu).
+struct MmsMetrics {
+  double utilization = 0.0;       ///< rho = lambda / (s mu)
+  double p_wait = 0.0;            ///< Erlang-C: P(arriving EV must wait)
+  double mean_queue_len = 0.0;    ///< Lq
+  double mean_wait_h = 0.0;       ///< Wq
+  double mean_in_system = 0.0;    ///< L = Lq + lambda/mu
+};
+
+/// Closed-form Erlang-C metrics; throws if the queue is unstable
+/// (lambda >= s * mu) or parameters are non-positive.
+[[nodiscard]] MmsMetrics mms_metrics(const MmsConfig& cfg);
+
+/// Discrete-event simulation of the same queue.
+struct MmsSimResult {
+  double mean_wait_h = 0.0;
+  double mean_in_system = 0.0;
+  double fraction_waited = 0.0;
+  std::size_t arrivals = 0;
+};
+
+/// Simulates `horizon_hours` of operation (after a warmup fraction that is
+/// discarded from the statistics).
+[[nodiscard]] MmsSimResult simulate_mms(const MmsConfig& cfg, double horizon_hours, Rng rng,
+                                        double warmup_fraction = 0.1);
+
+/// Smallest plug count keeping the stationary mean wait below
+/// `max_wait_hours`; searches up to `max_servers` and throws if impossible.
+[[nodiscard]] std::size_t size_station(double arrival_rate, double service_rate,
+                                       double max_wait_hours, std::size_t max_servers = 16);
+
+}  // namespace ecthub::ev

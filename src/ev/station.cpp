@@ -1,0 +1,45 @@
+#include "ev/station.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecthub::ev {
+
+ChargingStation::ChargingStation(StationConfig cfg, StrataProfile profile)
+    : cfg_(cfg), profile_(std::move(profile)) {
+  if (cfg_.plug_rate_kw <= 0.0) throw std::invalid_argument("StationConfig: plug_rate_kw <= 0");
+  if (cfg_.num_plugs == 0) throw std::invalid_argument("StationConfig: num_plugs == 0");
+}
+
+double ChargingStation::power_kw(std::uint64_t vehicles) const {
+  const std::uint64_t active = std::min<std::uint64_t>(vehicles, cfg_.num_plugs);
+  return static_cast<double>(active) * cfg_.plug_rate_kw;
+}
+
+OccupancySeries ChargingStation::simulate(const TimeGrid& grid,
+                                          const std::vector<bool>& discounted,
+                                          Rng& rng) const {
+  if (discounted.size() != grid.size()) {
+    throw std::invalid_argument("ChargingStation::simulate: discounted length must match grid");
+  }
+  OccupancySeries out;
+  out.vehicles.resize(grid.size(), 0);
+  out.power_kw.resize(grid.size(), 0.0);
+  out.stratum.resize(grid.size(), Stratum::kNone);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
+    const Stratum s = profile_.sample(hour, rng);
+    out.stratum[t] = s;
+    std::uint64_t n = charges(s, discounted[t], rng) ? 1 : 0;
+    // Busy daytime slots occasionally fill a second plug.
+    if (n > 0 && cfg_.num_plugs > 1) {
+      const StrataProbs& p = profile_.at_hour(hour);
+      if (rng.bernoulli(0.4 * p.p_always)) ++n;
+    }
+    out.vehicles[t] = n;
+    out.power_kw[t] = power_kw(n);
+  }
+  return out;
+}
+
+}  // namespace ecthub::ev

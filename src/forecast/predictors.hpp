@@ -1,0 +1,91 @@
+// Lightweight online forecasters for prices, traffic and generation.
+//
+// The paper notes network traffic is "a good indicator for predicting
+// electricity costs" and that renewable output is "hard to predict in
+// advance"; these predictors quantify both claims and power the
+// forecast-based scheduler (core/schedulers.hpp), an interpretable
+// middle ground between the TOU rule and ECT-DRL.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::forecast {
+
+/// Exponential moving average: level-only smoothing.
+class EmaPredictor {
+ public:
+  explicit EmaPredictor(double alpha);
+
+  void observe(double value);
+  [[nodiscard]] double predict() const noexcept { return level_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Seasonal-naive with EMA-smoothed seasonal slots: the forecast for hour h
+/// is the smoothed history of past values at hour h.  The right baseline for
+/// strongly diurnal series (prices, traffic, PV).
+class SeasonalNaivePredictor {
+ public:
+  /// @param period number of slots per season (24 for hourly/diurnal)
+  /// @param alpha  smoothing factor per seasonal slot
+  SeasonalNaivePredictor(std::size_t period, double alpha = 0.3);
+
+  /// Feeds the value observed at slot index `t` (slot-of-season = t % period).
+  void observe(std::size_t t, double value);
+
+  /// Forecast for slot index `t`; falls back to the global mean until the
+  /// seasonal slot has been seen.
+  [[nodiscard]] double predict(std::size_t t) const;
+
+  [[nodiscard]] std::size_t period() const noexcept { return period_; }
+
+ private:
+  std::size_t period_;
+  double alpha_;
+  std::vector<double> seasonal_;
+  std::vector<bool> seen_;
+  double global_mean_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// AR(1) fit by online least squares: x_{t+1} ~ c + phi x_t.
+class Ar1Predictor {
+ public:
+  void observe(double value);
+  [[nodiscard]] double predict() const;
+  /// k-step-ahead forecast (geometric reversion to the implied mean).
+  [[nodiscard]] double predict_ahead(std::size_t k) const;
+  [[nodiscard]] double phi() const;
+
+ private:
+  double prev_ = 0.0;
+  bool has_prev_ = false;
+  // Online sums for least squares over (x_t, x_{t+1}) pairs.
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Mean absolute error of a forecaster replayed over a series (utility for
+/// the volatility analysis and tests).
+template <typename Predictor>
+double replay_mae_seasonal(Predictor& p, const std::vector<double>& series) {
+  double abs_err = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    if (t >= p.period()) {
+      abs_err += std::abs(p.predict(t) - series[t]);
+      ++scored;
+    }
+    p.observe(t, series[t]);
+  }
+  return scored == 0 ? 0.0 : abs_err / static_cast<double>(scored);
+}
+
+}  // namespace ecthub::forecast

@@ -1,0 +1,152 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::nn {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      w_(Matrix::randn(in_dim, out_dim, rng)),
+      b_(1, out_dim, 0.0),
+      dw_(in_dim, out_dim, 0.0),
+      db_(1, out_dim, 0.0) {
+  if (in_dim == 0 || out_dim == 0) throw std::invalid_argument("Dense: zero dimension");
+}
+
+Matrix Dense::forward(const Matrix& x) {
+  if (x.cols() != w_.rows()) throw std::invalid_argument("Dense::forward: dim mismatch");
+  cached_x_ = x;
+  Matrix y = x.matmul(w_);
+  y.add_row_vector(b_);
+  return y;
+}
+
+Matrix Dense::backward(const Matrix& dy) {
+  if (cached_x_.empty()) throw std::logic_error("Dense::backward before forward");
+  if (dy.rows() != cached_x_.rows() || dy.cols() != w_.cols()) {
+    throw std::invalid_argument("Dense::backward: dY shape mismatch");
+  }
+  dw_.add_inplace(cached_x_.transpose().matmul(dy));
+  db_.add_inplace(dy.col_sum());
+  return dy.matmul(w_.transpose());
+}
+
+void Dense::zero_grad() {
+  dw_.fill(0.0);
+  db_.fill(0.0);
+}
+
+std::vector<Parameter> Dense::parameters() {
+  return {{name_ + ".W", &w_, &dw_}, {name_ + ".b", &b_, &db_}};
+}
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      table_(Matrix::randn(vocab, dim, rng)),
+      dtable_(vocab, dim, 0.0) {
+  if (vocab == 0 || dim == 0) throw std::invalid_argument("Embedding: zero dimension");
+}
+
+Matrix Embedding::forward(const std::vector<std::size_t>& ids) {
+  cached_ids_ = ids;
+  Matrix out(ids.size(), table_.cols());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= table_.rows()) throw std::out_of_range("Embedding: id out of vocab");
+    for (std::size_t c = 0; c < table_.cols(); ++c) out(i, c) = table_(ids[i], c);
+  }
+  return out;
+}
+
+void Embedding::backward(const Matrix& dy) {
+  if (dy.rows() != cached_ids_.size() || dy.cols() != table_.cols()) {
+    throw std::invalid_argument("Embedding::backward: dY shape mismatch");
+  }
+  for (std::size_t i = 0; i < cached_ids_.size(); ++i) {
+    for (std::size_t c = 0; c < table_.cols(); ++c) dtable_(cached_ids_[i], c) += dy(i, c);
+  }
+}
+
+void Embedding::zero_grad() { dtable_.fill(0.0); }
+
+std::vector<Parameter> Embedding::parameters() {
+  return {{name_ + ".table", &table_, &dtable_}};
+}
+
+Matrix ActivationLayer::forward(const Matrix& x) {
+  cached_x_ = x;
+  switch (kind_) {
+    case Activation::kRelu:
+      return x.apply([](double v) { return v > 0.0 ? v : 0.0; });
+    case Activation::kSigmoid:
+      return x.apply([](double v) { return sigmoid(v); });
+    case Activation::kTanh:
+      return x.apply([](double v) { return std::tanh(v); });
+    case Activation::kIdentity:
+      return x;
+  }
+  throw std::logic_error("ActivationLayer: invalid kind");
+}
+
+Matrix ActivationLayer::backward(const Matrix& dy) const {
+  if (cached_x_.empty()) throw std::logic_error("ActivationLayer::backward before forward");
+  Matrix dx(dy.rows(), dy.cols());
+  for (std::size_t r = 0; r < dy.rows(); ++r) {
+    for (std::size_t c = 0; c < dy.cols(); ++c) {
+      const double x = cached_x_(r, c);
+      double g = 1.0;
+      switch (kind_) {
+        case Activation::kRelu: g = x > 0.0 ? 1.0 : 0.0; break;
+        case Activation::kSigmoid: {
+          const double s = sigmoid(x);
+          g = s * (1.0 - s);
+          break;
+        }
+        case Activation::kTanh: {
+          const double th = std::tanh(x);
+          g = 1.0 - th * th;
+          break;
+        }
+        case Activation::kIdentity: g = 1.0; break;
+      }
+      dx(r, c) = dy(r, c) * g;
+    }
+  }
+  return dx;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    double mx = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, logits(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - mx);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= denom;
+  }
+  return out;
+}
+
+Matrix softmax_backward(const Matrix& softmax_out, const Matrix& dsoftmax) {
+  if (softmax_out.rows() != dsoftmax.rows() || softmax_out.cols() != dsoftmax.cols()) {
+    throw std::invalid_argument("softmax_backward: shape mismatch");
+  }
+  Matrix dlogits(softmax_out.rows(), softmax_out.cols());
+  for (std::size_t r = 0; r < softmax_out.rows(); ++r) {
+    double dot = 0.0;
+    for (std::size_t c = 0; c < softmax_out.cols(); ++c) {
+      dot += softmax_out(r, c) * dsoftmax(r, c);
+    }
+    for (std::size_t c = 0; c < softmax_out.cols(); ++c) {
+      dlogits(r, c) = softmax_out(r, c) * (dsoftmax(r, c) - dot);
+    }
+  }
+  return dlogits;
+}
+
+}  // namespace ecthub::nn

@@ -1,0 +1,16 @@
+// Loss functions returning (loss value, gradient w.r.t. predictions).
+#pragma once
+
+#include "nn/matrix.hpp"
+
+#include <utility>
+
+namespace ecthub::nn {
+
+/// Mean squared error averaged over all elements.
+[[nodiscard]] std::pair<double, Matrix> mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Binary cross-entropy on probabilities in (0, 1); clamped for stability.
+[[nodiscard]] std::pair<double, Matrix> bce_loss(const Matrix& prob, const Matrix& target);
+
+}  // namespace ecthub::nn

@@ -1,0 +1,154 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols, 0.0); }
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng, double scale) {
+  Matrix m(rows, cols);
+  const double sd = scale / std::sqrt(static_cast<double>(rows > 0 ? rows : 1));
+  for (double& x : m.data_) x = rng.normal(0.0, sd);
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) throw std::invalid_argument("from_rows: ragged input");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul: inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  // ikj loop order: streams through `other` rows for cache locality.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = data_[r * cols_ + c];
+  }
+  return out;
+}
+
+Matrix& Matrix::add_inplace(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("add_inplace: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::sub_inplace(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("sub_inplace: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::scale_inplace(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::add_row_vector(const Matrix& rowv) {
+  if (rowv.rows_ != 1 || rowv.cols_ != cols_) {
+    throw std::invalid_argument("add_row_vector: expected 1 x cols vector");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += rowv.data_[c];
+  }
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("hadamard: shape mismatch");
+  }
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * other.data_[i];
+  return out;
+}
+
+Matrix Matrix::apply(const std::function<double(double)>& f) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+  return out;
+}
+
+Matrix Matrix::col_sum() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += data_[r * cols_ + c];
+  }
+  return out;
+}
+
+Matrix Matrix::hconcat(const Matrix& other) const {
+  if (rows_ != other.rows_) throw std::invalid_argument("hconcat: row count mismatch");
+  Matrix out(rows_, cols_ + other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = data_[r * cols_ + c];
+    for (std::size_t c = 0; c < other.cols_; ++c) out(r, cols_ + c) = other(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::slice_cols(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > cols_) throw std::invalid_argument("slice_cols: bad range");
+  Matrix out(rows_, end - begin);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = begin; c < end; ++c) out(r, c - begin) = data_[r * cols_ + c];
+  }
+  return out;
+}
+
+Matrix Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("row: index out of range");
+  Matrix out(1, cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out(0, c) = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace ecthub::nn

@@ -1,0 +1,76 @@
+// Dense row-major matrix — the tensor type of the from-scratch NN library.
+//
+// The paper's models (NCF backbone, ECT-Price multi-task heads, PPO
+// actor-critic) are all small dense networks; a straightforward double
+// matrix with cache-friendly row-major loops is fast enough at CPU scale
+// and keeps the numerics transparent for testing.
+#pragma once
+
+#include "common/rng.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ecthub::nn {
+
+/// The NN library reuses the project-wide deterministic RNG.
+using Rng = ::ecthub::Rng;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Gaussian init scaled by 1/sqrt(fan_in) (LeCun-style).
+  [[nodiscard]] static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                                    double scale = 1.0);
+  [[nodiscard]] static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+  /// this (r x k) * other (k x c) -> (r x c)
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+  [[nodiscard]] Matrix transpose() const;
+
+  Matrix& add_inplace(const Matrix& other);
+  Matrix& sub_inplace(const Matrix& other);
+  Matrix& scale_inplace(double s);
+  /// Adds a 1 x cols row vector to every row.
+  Matrix& add_row_vector(const Matrix& row);
+
+  [[nodiscard]] Matrix hadamard(const Matrix& other) const;
+  [[nodiscard]] Matrix apply(const std::function<double(double)>& f) const;
+
+  /// Column-wise sum -> 1 x cols.
+  [[nodiscard]] Matrix col_sum() const;
+
+  /// Concatenates [this | other] along columns (same row count).
+  [[nodiscard]] Matrix hconcat(const Matrix& other) const;
+  /// Extracts columns [begin, end).
+  [[nodiscard]] Matrix slice_cols(std::size_t begin, std::size_t end) const;
+  /// Extracts row r as a 1 x cols matrix.
+  [[nodiscard]] Matrix row(std::size_t r) const;
+
+  void fill(double v);
+
+  /// Frobenius norm; useful for gradient-norm diagnostics.
+  [[nodiscard]] double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ecthub::nn

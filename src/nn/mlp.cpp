@@ -1,0 +1,50 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+namespace ecthub::nn {
+
+Mlp::Mlp(MlpConfig cfg, Rng& rng, std::string name) {
+  if (cfg.layer_dims.size() < 2) throw std::invalid_argument("Mlp: need at least in/out dims");
+  for (std::size_t i = 0; i + 1 < cfg.layer_dims.size(); ++i) {
+    dense_.emplace_back(cfg.layer_dims[i], cfg.layer_dims[i + 1], rng,
+                        name + ".dense" + std::to_string(i));
+    const bool last = i + 2 == cfg.layer_dims.size();
+    acts_.emplace_back(last ? cfg.output_activation : cfg.hidden_activation);
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (std::size_t i = 0; i < dense_.size(); ++i) {
+    h = dense_[i].forward(h);
+    h = acts_[i].forward(h);
+  }
+  return h;
+}
+
+Matrix Mlp::backward(const Matrix& dy) {
+  Matrix g = dy;
+  for (std::size_t i = dense_.size(); i-- > 0;) {
+    g = acts_[i].backward(g);
+    g = dense_[i].backward(g);
+  }
+  return g;
+}
+
+void Mlp::zero_grad() {
+  for (auto& d : dense_) d.zero_grad();
+}
+
+std::vector<Parameter> Mlp::parameters() {
+  std::vector<Parameter> out;
+  for (auto& d : dense_) {
+    for (auto& p : d.parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Mlp::in_dim() const { return dense_.front().in_dim(); }
+std::size_t Mlp::out_dim() const { return dense_.back().out_dim(); }
+
+}  // namespace ecthub::nn

@@ -1,0 +1,37 @@
+// Multi-layer perceptron: a stack of Dense layers with a shared hidden
+// activation and a configurable output activation.
+#pragma once
+
+#include "nn/layers.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace ecthub::nn {
+
+struct MlpConfig {
+  std::vector<std::size_t> layer_dims;  ///< e.g. {in, hidden..., out}
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kIdentity;
+};
+
+class Mlp {
+ public:
+  Mlp(MlpConfig cfg, Rng& rng, std::string name = "mlp");
+
+  Matrix forward(const Matrix& x);
+  /// Returns dL/dX given dL/dY (through the output activation).
+  Matrix backward(const Matrix& dy);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Parameter> parameters();
+
+  [[nodiscard]] std::size_t in_dim() const;
+  [[nodiscard]] std::size_t out_dim() const;
+
+ private:
+  std::vector<Dense> dense_;
+  std::vector<ActivationLayer> acts_;
+};
+
+}  // namespace ecthub::nn

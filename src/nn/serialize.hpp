@@ -1,0 +1,21 @@
+// Parameter serialization: checkpoint trained models (ECT-Price, PPO
+// policies) to a binary stream and restore them into an identically-shaped
+// model.
+#pragma once
+
+#include "nn/layers.hpp"
+
+#include <iosfwd>
+#include <vector>
+
+namespace ecthub::nn {
+
+/// Writes all parameter tensors (name, shape, values) to `out`.
+/// Throws std::runtime_error on I/O failure.
+void save_parameters(std::ostream& out, const std::vector<Parameter>& params);
+
+/// Reads tensors back into `params`.  Names and shapes must match exactly
+/// (same model architecture); throws std::runtime_error otherwise.
+void load_parameters(std::istream& in, std::vector<Parameter>& params);
+
+}  // namespace ecthub::nn

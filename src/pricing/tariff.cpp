@@ -1,0 +1,35 @@
+#include "pricing/tariff.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::pricing {
+
+TouTariff::TouTariff(std::vector<TouPeriod> periods, double default_price)
+    : periods_(std::move(periods)), default_price_(default_price) {
+  for (const auto& p : periods_) {
+    if (p.start_hour < 0.0 || p.start_hour >= 24.0 || p.end_hour < 0.0 || p.end_hour > 24.0) {
+      throw std::invalid_argument("TouPeriod: hours out of range");
+    }
+    if (p.price < 0.0) throw std::invalid_argument("TouPeriod: negative price");
+  }
+  if (default_price < 0.0) throw std::invalid_argument("TouTariff: negative default price");
+}
+
+TouTariff TouTariff::typical() {
+  return TouTariff({{23.0, 7.0, 45.0}, {17.0, 22.0, 110.0}}, 75.0);
+}
+
+double TouTariff::price_at_hour(double hour_of_day) const {
+  double h = std::fmod(hour_of_day, 24.0);
+  if (h < 0.0) h += 24.0;
+  for (const auto& p : periods_) {
+    const bool wraps = p.start_hour > p.end_hour;
+    const bool inside = wraps ? (h >= p.start_hour || h < p.end_hour)
+                              : (h >= p.start_hour && h < p.end_hour);
+    if (inside) return p.price;
+  }
+  return default_price_;
+}
+
+}  // namespace ecthub::pricing

@@ -1,0 +1,35 @@
+// Time-of-use (TOU) tariff: the simple peak/off-peak price structure used by
+// the rule-based baseline schedulers and the economic-feasibility analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::pricing {
+
+struct TouPeriod {
+  double start_hour;  ///< inclusive, [0, 24)
+  double end_hour;    ///< exclusive; may wrap past midnight (start > end)
+  double price;       ///< $/MWh during the period
+};
+
+/// A tariff is an ordered list of periods plus a default price for hours not
+/// covered by any period.  Periods may wrap midnight (e.g. 22h-6h off-peak).
+class TouTariff {
+ public:
+  TouTariff(std::vector<TouPeriod> periods, double default_price);
+
+  /// A typical two-tier utility tariff: off-peak 23h-7h, peak 17h-22h,
+  /// shoulder otherwise.
+  static TouTariff typical();
+
+  [[nodiscard]] double price_at_hour(double hour_of_day) const;
+
+  [[nodiscard]] const std::vector<TouPeriod>& periods() const noexcept { return periods_; }
+
+ private:
+  std::vector<TouPeriod> periods_;
+  double default_price_;
+};
+
+}  // namespace ecthub::pricing

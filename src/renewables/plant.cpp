@@ -1,0 +1,45 @@
+#include "renewables/plant.hpp"
+
+namespace ecthub::renewables {
+
+PlantConfig PlantConfig::urban() {
+  PlantConfig cfg;
+  PvConfig pv;
+  pv.area_m2 = 25.0;  // rooftop constraint
+  pv.rated_power_w = 5000.0;
+  cfg.pv = pv;
+  return cfg;
+}
+
+PlantConfig PlantConfig::rural() {
+  PlantConfig cfg;
+  PvConfig pv;
+  pv.area_m2 = 60.0;
+  pv.rated_power_w = 12000.0;
+  cfg.pv = pv;
+  cfg.wt = WindTurbineConfig{};
+  return cfg;
+}
+
+PlantConfig PlantConfig::none() { return PlantConfig{}; }
+
+RenewablePlant::RenewablePlant(PlantConfig cfg) : cfg_(cfg) {}
+
+GenerationSeries RenewablePlant::generate(const weather::WeatherSeries& wx) const {
+  GenerationSeries out;
+  out.pv_w.assign(wx.size(), 0.0);
+  out.wt_w.assign(wx.size(), 0.0);
+  out.total_w.assign(wx.size(), 0.0);
+  if (cfg_.pv) {
+    const PvArray pv(*cfg_.pv);
+    out.pv_w = pv.series(wx);
+  }
+  if (cfg_.wt) {
+    const WindTurbine wt(*cfg_.wt);
+    out.wt_w = wt.series(wx);
+  }
+  for (std::size_t t = 0; t < wx.size(); ++t) out.total_w[t] = out.pv_w[t] + out.wt_w[t];
+  return out;
+}
+
+}  // namespace ecthub::renewables

@@ -1,0 +1,83 @@
+#include "rl/actor_critic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::rl {
+
+namespace {
+nn::MlpConfig head_config(std::size_t in, std::size_t hidden, std::size_t out) {
+  nn::MlpConfig mc;
+  mc.layer_dims = {in, hidden, out};
+  mc.output_activation = nn::Activation::kIdentity;
+  return mc;
+}
+}  // namespace
+
+ActorCritic::ActorCritic(ActorCriticConfig cfg, nn::Rng& rng)
+    : cfg_(cfg),
+      trunk_(cfg.state_dim, cfg.trunk_dim, rng, "ac.trunk"),
+      trunk_act_(nn::Activation::kTanh),
+      actor_(head_config(cfg.trunk_dim, cfg.head_dim, cfg.action_count), rng, "ac.actor"),
+      critic_(head_config(cfg.trunk_dim, cfg.head_dim, 1), rng, "ac.critic") {
+  if (cfg.state_dim == 0) throw std::invalid_argument("ActorCriticConfig: state_dim == 0");
+  if (cfg.action_count < 2) throw std::invalid_argument("ActorCriticConfig: need >= 2 actions");
+}
+
+PolicyOutput ActorCritic::forward(const nn::Matrix& states) {
+  const nn::Matrix h = trunk_act_.forward(trunk_.forward(states));
+  PolicyOutput out;
+  out.probs = nn::softmax_rows(actor_.forward(h));
+  out.values = critic_.forward(h);
+  cached_probs_ = out.probs;
+  return out;
+}
+
+void ActorCritic::backward(const nn::Matrix& dprobs, const nn::Matrix& dvalues) {
+  if (cached_probs_.empty()) throw std::logic_error("ActorCritic::backward before forward");
+  const nn::Matrix dlogits = nn::softmax_backward(cached_probs_, dprobs);
+  nn::Matrix dh = actor_.backward(dlogits);
+  dh.add_inplace(critic_.backward(dvalues));
+  trunk_.backward(trunk_act_.backward(dh));
+}
+
+void ActorCritic::zero_grad() {
+  trunk_.zero_grad();
+  actor_.zero_grad();
+  critic_.zero_grad();
+}
+
+std::vector<nn::Parameter> ActorCritic::parameters() {
+  std::vector<nn::Parameter> out = trunk_.parameters();
+  for (auto& p : actor_.parameters()) out.push_back(p);
+  for (auto& p : critic_.parameters()) out.push_back(p);
+  return out;
+}
+
+ActorCritic::Sample ActorCritic::act(const std::vector<double>& state, nn::Rng& rng) {
+  if (state.size() != cfg_.state_dim) throw std::invalid_argument("act: state dim mismatch");
+  const nn::Matrix s = nn::Matrix::from_rows({state});
+  const PolicyOutput out = forward(s);
+  std::vector<double> probs(cfg_.action_count);
+  for (std::size_t a = 0; a < cfg_.action_count; ++a) probs[a] = out.probs(0, a);
+  Sample sample;
+  sample.action = rng.categorical(probs);
+  sample.log_prob = std::log(std::max(probs[sample.action], 1e-12));
+  sample.value = out.values(0, 0);
+  return sample;
+}
+
+std::size_t ActorCritic::act_greedy(const std::vector<double>& state) {
+  if (state.size() != cfg_.state_dim) {
+    throw std::invalid_argument("act_greedy: state dim mismatch");
+  }
+  const nn::Matrix s = nn::Matrix::from_rows({state});
+  const PolicyOutput out = forward(s);
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < cfg_.action_count; ++a) {
+    if (out.probs(0, a) > out.probs(0, best)) best = a;
+  }
+  return best;
+}
+
+}  // namespace ecthub::rl

@@ -1,0 +1,65 @@
+// Actor-critic network (paper Fig. 10).
+//
+// The concatenated state passes through a shared fully connected trunk; the
+// actor head emits softmax action probabilities (3 BP actions) and the critic
+// head emits the state value V(s).
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/mlp.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::rl {
+
+struct ActorCriticConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_count = 3;
+  std::size_t trunk_dim = 64;   ///< shared fully connected layer width
+  std::size_t head_dim = 32;    ///< hidden width of each head
+};
+
+/// Output of one forward pass over a batch of states.
+struct PolicyOutput {
+  nn::Matrix probs;   ///< (batch x actions) softmax probabilities
+  nn::Matrix values;  ///< (batch x 1) V(s)
+};
+
+class ActorCritic {
+ public:
+  ActorCritic(ActorCriticConfig cfg, nn::Rng& rng);
+
+  PolicyOutput forward(const nn::Matrix& states);
+
+  /// Backward pass given gradients w.r.t. action probabilities and values;
+  /// accumulates parameter gradients.
+  void backward(const nn::Matrix& dprobs, const nn::Matrix& dvalues);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<nn::Parameter> parameters();
+
+  /// Samples an action from the policy at a single state; also returns the
+  /// action's log-probability and the value estimate.
+  struct Sample {
+    std::size_t action = 0;
+    double log_prob = 0.0;
+    double value = 0.0;
+  };
+  Sample act(const std::vector<double>& state, nn::Rng& rng);
+
+  /// Greedy (argmax-probability) action for deployment.
+  std::size_t act_greedy(const std::vector<double>& state);
+
+  [[nodiscard]] const ActorCriticConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ActorCriticConfig cfg_;
+  nn::Dense trunk_;
+  nn::ActivationLayer trunk_act_;
+  nn::Mlp actor_;   ///< -> logits
+  nn::Mlp critic_;  ///< -> scalar value
+  nn::Matrix cached_probs_;  ///< softmax of the last forward (for backward)
+};
+
+}  // namespace ecthub::rl

@@ -1,0 +1,32 @@
+// Abstract episodic environment with a discrete action space.
+//
+// The ECT-Hub environment (src/core/hub_env.hpp) implements this interface;
+// keeping it abstract lets the PPO trainer be unit-tested on toy MDPs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::rl {
+
+struct StepResult {
+  std::vector<double> next_state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Resets the episode and returns the initial state.
+  virtual std::vector<double> reset() = 0;
+
+  /// Applies a discrete action in [0, action_count).
+  virtual StepResult step(std::size_t action) = 0;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t action_count() const = 0;
+};
+
+}  // namespace ecthub::rl

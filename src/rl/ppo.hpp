@@ -1,0 +1,78 @@
+// Proximal Policy Optimization with a clipped surrogate objective
+// (paper Sec. IV-B, Eqs. 25-28).
+//
+// Loss per transition:
+//   L = -min(r A, clip(r, 1-eps, 1+eps) A) + c (V - R)^2 - beta H(pi(.|s))
+// where r is the new/old probability ratio and H the policy entropy.  The
+// clip prevents the "great turbulence" of the vanilla policy gradient the
+// paper calls out.
+#pragma once
+
+#include "nn/optimizer.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/env.hpp"
+#include "rl/rollout.hpp"
+
+#include <vector>
+
+namespace ecthub::rl {
+
+struct PpoConfig {
+  /// 0.97 suits the hub task: battery arbitrage pays back within hours, so a
+  /// shorter effective horizon reduces return variance.
+  double gamma = 0.97;
+  double gae_lambda = 0.95;
+  double clip_epsilon = 0.2;
+  double value_coeff = 0.5;     ///< c in Eq. 27
+  double entropy_coeff = 0.01;  ///< exploration bonus
+  std::size_t update_epochs = 4;
+  std::size_t minibatch_size = 64;
+  std::size_t episodes_per_iteration = 8;
+  /// Adam lr 1e-3 / weight decay 1e-4: the paper's ECT-DRL training setup.
+  nn::AdamConfig adam{.lr = 1e-3, .weight_decay = 1e-4, .grad_clip = 5.0};
+};
+
+struct PpoUpdateStats {
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double mean_ratio = 0.0;
+  double clip_fraction = 0.0;  ///< share of transitions where the clip bound
+};
+
+struct PpoIterationStats {
+  double mean_episode_reward = 0.0;
+  PpoUpdateStats update;
+};
+
+class PpoTrainer {
+ public:
+  PpoTrainer(PpoConfig cfg, ActorCriticConfig ac_cfg, nn::Rng rng);
+
+  /// Runs `iterations` collect+update cycles on `env`.
+  std::vector<PpoIterationStats> train(Env& env, std::size_t iterations);
+
+  /// Mean episode reward under the greedy policy over `episodes` fresh
+  /// episodes (no learning).
+  double evaluate(Env& env, std::size_t episodes);
+
+  /// Per-episode rewards under the greedy policy (for Fig. 13-style series).
+  std::vector<double> evaluate_episodes(Env& env, std::size_t episodes);
+
+  [[nodiscard]] ActorCritic& policy() noexcept { return ac_; }
+  [[nodiscard]] const PpoConfig& config() const noexcept { return cfg_; }
+
+  /// One PPO update over an externally-collected buffer (exposed for tests).
+  PpoUpdateStats update(const RolloutBuffer& buffer);
+
+ private:
+  /// Collects one full episode into `buffer`; returns its total reward.
+  double collect_episode(Env& env, RolloutBuffer& buffer);
+
+  PpoConfig cfg_;
+  nn::Rng rng_;
+  ActorCritic ac_;
+  nn::Adam opt_;
+};
+
+}  // namespace ecthub::rl

@@ -1,0 +1,48 @@
+#include "rl/rollout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::rl {
+
+void RolloutBuffer::add(Transition t) { transitions_.push_back(std::move(t)); }
+
+void RolloutBuffer::clear() { transitions_.clear(); }
+
+RolloutBuffer::Targets RolloutBuffer::compute_gae(double gamma, double lambda,
+                                                  double last_value) const {
+  if (transitions_.empty()) throw std::logic_error("compute_gae: empty buffer");
+  if (gamma < 0.0 || gamma > 1.0 || lambda < 0.0 || lambda > 1.0) {
+    throw std::invalid_argument("compute_gae: gamma/lambda out of [0, 1]");
+  }
+  const std::size_t n = transitions_.size();
+  Targets out;
+  out.advantages.assign(n, 0.0);
+  out.returns.assign(n, 0.0);
+  double gae = 0.0;
+  double next_value = last_value;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& t = transitions_[i];
+    const double mask = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * next_value * mask - t.value;
+    gae = delta + gamma * lambda * mask * gae;
+    out.advantages[i] = gae;
+    out.returns[i] = gae + t.value;
+    next_value = t.value;
+  }
+  return out;
+}
+
+void RolloutBuffer::normalize(std::vector<double>& advantages) {
+  if (advantages.size() < 2) return;
+  double mean = 0.0;
+  for (double a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  double var = 0.0;
+  for (double a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  const double sd = std::sqrt(var) + 1e-8;
+  for (double& a : advantages) a = (a - mean) / sd;
+}
+
+}  // namespace ecthub::rl

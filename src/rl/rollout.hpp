@@ -1,0 +1,45 @@
+// Rollout storage and Generalized Advantage Estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecthub::rl {
+
+/// One transition collected under the behaviour policy.
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double log_prob = 0.0;  ///< log pi_old(a | s)
+  double reward = 0.0;
+  double value = 0.0;     ///< V_old(s)
+  bool done = false;
+};
+
+class RolloutBuffer {
+ public:
+  void add(Transition t);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return transitions_.size(); }
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// Computes GAE(lambda) advantages and discounted returns.
+  /// `last_value` bootstraps the value beyond the final transition when the
+  /// rollout was truncated mid-episode (ignored after terminal steps).
+  struct Targets {
+    std::vector<double> advantages;
+    std::vector<double> returns;  ///< advantage + value: critic regression target
+  };
+  [[nodiscard]] Targets compute_gae(double gamma, double lambda, double last_value) const;
+
+  /// Normalizes advantages to zero mean / unit variance (PPO convention).
+  static void normalize(std::vector<double>& advantages);
+
+ private:
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace ecthub::rl

@@ -1,0 +1,37 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::traffic {
+
+TrafficGenerator::TrafficGenerator(TrafficConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {
+  if (cfg_.noise_persistence < 0.0 || cfg_.noise_persistence >= 1.0) {
+    throw std::invalid_argument("TrafficConfig: noise_persistence must be in [0, 1)");
+  }
+  if (cfg_.noise_sigma < 0.0) throw std::invalid_argument("TrafficConfig: noise_sigma < 0");
+  if (cfg_.min_load < 0.0 || cfg_.min_load > 1.0) {
+    throw std::invalid_argument("TrafficConfig: min_load out of [0, 1]");
+  }
+}
+
+TrafficTrace TrafficGenerator::generate(const TimeGrid& grid) {
+  const DiurnalProfile profile = DiurnalProfile::for_area(cfg_.area);
+  TrafficTrace trace;
+  trace.load_rate.resize(grid.size());
+  trace.volume_gb.resize(grid.size());
+
+  double ar = 0.0;  // AR(1) log-multiplier state
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const double envelope = profile.at_hour(grid.hour_of_day(t));
+    const double weekend = grid.is_weekend(t) ? cfg_.weekend_factor : 1.0;
+    ar = cfg_.noise_persistence * ar + rng_.normal(0.0, cfg_.noise_sigma);
+    const double load = std::clamp(envelope * weekend * std::exp(ar), cfg_.min_load, 1.0);
+    trace.load_rate[t] = load;
+    trace.volume_gb[t] = load * cfg_.peak_volume_gb;
+  }
+  return trace;
+}
+
+}  // namespace ecthub::traffic

@@ -1,0 +1,69 @@
+#include "traffic/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub::traffic {
+
+std::string to_string(AreaType a) {
+  switch (a) {
+    case AreaType::kResidential: return "residential";
+    case AreaType::kOffice: return "office";
+    case AreaType::kHighway: return "highway";
+    case AreaType::kMixed: return "mixed";
+  }
+  throw std::logic_error("to_string(AreaType): invalid value");
+}
+
+DiurnalProfile::DiurnalProfile(std::array<double, 24> hourly) : hourly_(hourly) {
+  for (double& w : hourly_) w = std::clamp(w, 0.0, 1.0);
+}
+
+DiurnalProfile DiurnalProfile::for_area(AreaType area) {
+  // Shapes digitized qualitatively from city-scale measurement literature:
+  // normalized to peak 1.0; hour index = local hour.
+  switch (area) {
+    case AreaType::kResidential:
+      return DiurnalProfile({0.30, 0.22, 0.16, 0.12, 0.10, 0.12, 0.20, 0.35,
+                             0.45, 0.48, 0.50, 0.55, 0.58, 0.55, 0.52, 0.55,
+                             0.60, 0.70, 0.85, 0.95, 1.00, 0.95, 0.75, 0.50});
+    case AreaType::kOffice:
+      return DiurnalProfile({0.10, 0.08, 0.07, 0.06, 0.06, 0.08, 0.18, 0.45,
+                             0.75, 0.92, 1.00, 0.97, 0.85, 0.90, 0.98, 0.95,
+                             0.88, 0.70, 0.45, 0.30, 0.22, 0.18, 0.14, 0.12});
+    case AreaType::kHighway:
+      return DiurnalProfile({0.12, 0.08, 0.06, 0.06, 0.10, 0.25, 0.60, 0.95,
+                             1.00, 0.70, 0.55, 0.55, 0.60, 0.58, 0.55, 0.60,
+                             0.80, 0.98, 0.95, 0.70, 0.45, 0.32, 0.22, 0.16});
+    case AreaType::kMixed: {
+      const auto r = for_area(AreaType::kResidential).hourly();
+      const auto o = for_area(AreaType::kOffice).hourly();
+      std::array<double, 24> m{};
+      for (std::size_t h = 0; h < 24; ++h) m[h] = 0.5 * (r[h] + o[h]);
+      return DiurnalProfile(m);
+    }
+  }
+  throw std::logic_error("DiurnalProfile::for_area: invalid area");
+}
+
+double DiurnalProfile::at_hour(double hour_of_day) const {
+  double h = std::fmod(hour_of_day, 24.0);
+  if (h < 0.0) h += 24.0;
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = (lo + 1) % 24;
+  const double frac = h - static_cast<double>(lo);
+  return hourly_[lo] * (1.0 - frac) + hourly_[hi] * frac;
+}
+
+std::size_t DiurnalProfile::peak_hour() const {
+  return static_cast<std::size_t>(
+      std::max_element(hourly_.begin(), hourly_.end()) - hourly_.begin());
+}
+
+std::size_t DiurnalProfile::trough_hour() const {
+  return static_cast<std::size_t>(
+      std::min_element(hourly_.begin(), hourly_.end()) - hourly_.begin());
+}
+
+}  // namespace ecthub::traffic

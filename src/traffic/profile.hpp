@@ -1,0 +1,49 @@
+// Diurnal traffic profiles for 5G base stations.
+//
+// The paper's measurement study (Fig. 5) shows the BS load rate follows a
+// strong diurnal pattern that peaks in the evening and correlates with the
+// real-time electricity price.  A DiurnalProfile captures the deterministic
+// part of that pattern as 24 hourly weights in [0, 1]; the generator layers
+// stochastic structure on top.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ecthub::traffic {
+
+/// Area archetype a base station serves.  Profiles follow the shapes reported
+/// in city-scale cellular measurement studies (cf. paper ref [22]):
+///   Residential — morning bump, deep night trough, strong evening peak.
+///   Office      — business-hours plateau, quiet evenings and weekends.
+///   Highway     — commute double peak, moderate midday.
+///   Mixed       — blend of residential and office.
+enum class AreaType { kResidential, kOffice, kHighway, kMixed };
+
+[[nodiscard]] std::string to_string(AreaType a);
+
+/// 24 hourly weights in [0, 1] giving the expected load-rate envelope.
+class DiurnalProfile {
+ public:
+  /// Weights are clamped into [0, 1].
+  explicit DiurnalProfile(std::array<double, 24> hourly);
+
+  /// Canonical profile for an area archetype.
+  static DiurnalProfile for_area(AreaType area);
+
+  /// Envelope value at a fractional hour of day (piecewise-linear, wraps at
+  /// midnight so hour 23.5 interpolates toward hour 0).
+  [[nodiscard]] double at_hour(double hour_of_day) const;
+
+  [[nodiscard]] const std::array<double, 24>& hourly() const noexcept { return hourly_; }
+
+  /// Peak / trough hours of the envelope (first occurrence).
+  [[nodiscard]] std::size_t peak_hour() const;
+  [[nodiscard]] std::size_t trough_hour() const;
+
+ private:
+  std::array<double, 24> hourly_;
+};
+
+}  // namespace ecthub::traffic

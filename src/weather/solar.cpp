@@ -1,0 +1,56 @@
+#include "weather/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ecthub::weather {
+
+double clear_sky_ghi(const SolarConfig& cfg, std::size_t day_of_year, double hour_of_day) {
+  // Day length varies sinusoidally over the year around the mean; peak GHI
+  // scales with relative day length as a season proxy.
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>((day_of_year + 365 - 172) % 365) / 365.0;
+  const double daylength =
+      cfg.mean_daylength_h + 0.5 * cfg.season_daylength_swing_h * std::cos(phase);
+  const double sunrise = 12.0 - daylength / 2.0;
+  const double sunset = 12.0 + daylength / 2.0;
+  if (hour_of_day <= sunrise || hour_of_day >= sunset) return 0.0;
+  const double x = (hour_of_day - sunrise) / daylength;  // in (0, 1)
+  const double seasonal_peak = cfg.peak_ghi * (daylength / (cfg.mean_daylength_h +
+                                                            0.5 * cfg.season_daylength_swing_h));
+  return seasonal_peak * std::sin(std::numbers::pi * x);
+}
+
+SolarModel::SolarModel(SolarConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {
+  if (cfg_.peak_ghi <= 0.0) throw std::invalid_argument("SolarConfig: peak_ghi must be > 0");
+  if (cfg_.cloud_switch_prob < 0.0 || cfg_.cloud_switch_prob > 1.0) {
+    throw std::invalid_argument("SolarConfig: cloud_switch_prob out of [0, 1]");
+  }
+  if (cfg_.cloudy_transmittance < 0.0 || cfg_.cloudy_transmittance > 1.0) {
+    throw std::invalid_argument("SolarConfig: cloudy_transmittance out of [0, 1]");
+  }
+}
+
+std::vector<double> SolarModel::generate(const TimeGrid& grid) {
+  std::vector<double> ghi(grid.size(), 0.0);
+  bool cloudy = rng_.bernoulli(0.5);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    if (rng_.bernoulli(cfg_.cloud_switch_prob)) cloudy = !cloudy;
+    const std::size_t doy = (cfg_.start_day_of_year + grid.day_of(t)) % 365;
+    const double clear = clear_sky_ghi(cfg_, doy, grid.hour_of_day(t));
+    double trans = 1.0;
+    if (cloudy) {
+      trans = std::clamp(
+          cfg_.cloudy_transmittance + rng_.normal(0.0, cfg_.transmittance_sigma), 0.05, 1.0);
+    } else {
+      // Even "clear" slots see small high-cirrus variation.
+      trans = std::clamp(1.0 - std::abs(rng_.normal(0.0, 0.03)), 0.8, 1.0);
+    }
+    ghi[t] = clear * trans;
+  }
+  return ghi;
+}
+
+}  // namespace ecthub::weather

@@ -1,0 +1,28 @@
+#include "weather/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ecthub::weather {
+
+WeatherGenerator::WeatherGenerator(WeatherConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+WeatherSeries WeatherGenerator::generate(const TimeGrid& grid) {
+  WeatherSeries series;
+  SolarModel solar(cfg_.solar, rng_.fork());
+  WindModel wind(cfg_.wind, rng_.fork());
+  series.ghi_wm2 = solar.generate(grid);
+  series.wind_speed_ms = wind.generate(grid);
+  series.temperature_c.resize(grid.size());
+  Rng temp_rng = rng_.fork();
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    // Temperature lags solar noon by ~2h; peak mid-afternoon.
+    const double diurnal = std::sin(2.0 * std::numbers::pi * (grid.hour_of_day(t) - 8.0) / 24.0);
+    series.temperature_c[t] = cfg_.mean_temperature_c +
+                              0.5 * cfg_.diurnal_temp_swing_c * diurnal +
+                              temp_rng.normal(0.0, cfg_.temp_noise_sigma);
+  }
+  return series;
+}
+
+}  // namespace ecthub::weather

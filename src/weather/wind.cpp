@@ -1,0 +1,33 @@
+#include "weather/wind.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ecthub::weather {
+
+WindModel::WindModel(WindConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {
+  if (cfg_.mean_speed_ms < 0.0) throw std::invalid_argument("WindConfig: mean_speed_ms < 0");
+  if (cfg_.reversion_rate <= 0.0 || cfg_.reversion_rate >= 1.0) {
+    throw std::invalid_argument("WindConfig: reversion_rate must be in (0, 1)");
+  }
+  if (cfg_.volatility < 0.0) throw std::invalid_argument("WindConfig: volatility < 0");
+}
+
+std::vector<double> WindModel::generate(const TimeGrid& grid) {
+  std::vector<double> speed(grid.size(), 0.0);
+  double x = cfg_.mean_speed_ms;  // OU state
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const double diurnal =
+        1.0 + cfg_.diurnal_amplitude *
+                  std::sin(2.0 * std::numbers::pi * (grid.hour_of_day(t) - 9.0) / 24.0);
+    x += cfg_.reversion_rate * (cfg_.mean_speed_ms - x) +
+         rng_.normal(0.0, cfg_.volatility);
+    x = std::clamp(x, 0.0, cfg_.max_speed_ms);
+    speed[t] = std::clamp(x * diurnal, 0.0, cfg_.max_speed_ms);
+  }
+  return speed;
+}
+
+}  // namespace ecthub::weather

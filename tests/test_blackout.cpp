@@ -1,0 +1,128 @@
+// Failure-injection tests: grid outages carried by the backup battery
+// (the Eq. 6 reserve guarantee, exercised).
+#include "battery/reserve.hpp"
+#include "core/blackout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecthub::core {
+namespace {
+
+battery::BatteryConfig small_pack() {
+  battery::BatteryConfig cfg;
+  cfg.capacity_kwh = 20.0;
+  cfg.charge_rate_kw = 5.0;
+  cfg.discharge_rate_kw = 5.0;
+  cfg.discharge_efficiency = 0.9;
+  cfg.soc_min_frac = 0.1;
+  return cfg;
+}
+
+TEST(RideThrough, SurvivesWhenEnergySuffices) {
+  // 3 kW for 3 h = 9 kWh delivered needs 10 kWh stored at eta 0.9;
+  // SoC 15 kWh with hard floor 2 kWh leaves 13 kWh -> survives.
+  const auto r = ride_through(small_pack(), 15.0, {3.0, 3.0, 3.0}, 1.0);
+  EXPECT_TRUE(r.survived);
+  EXPECT_NEAR(r.energy_used_kwh, 9.0, 1e-9);
+  EXPECT_NEAR(r.final_soc_kwh, 15.0 - 10.0, 1e-9);
+}
+
+TEST(RideThrough, FailsWhenDepleted) {
+  // 4 kW for 5 h = 20 kWh delivered; only (6 - 2) * 0.9 = 3.6 kWh available.
+  const auto r = ride_through(small_pack(), 6.0, {4.0, 4.0, 4.0, 4.0, 4.0}, 1.0);
+  EXPECT_FALSE(r.survived);
+  EXPECT_LT(r.slots_survived, 5.0);
+}
+
+TEST(RideThrough, FailsWhenDrawExceedsRate) {
+  const auto r = ride_through(small_pack(), 18.0, {6.0}, 1.0);  // > 5 kW rate
+  EXPECT_FALSE(r.survived);
+}
+
+TEST(RideThrough, UsesFullBandDownToHardMinimum) {
+  // Trading floors don't apply during blackouts: only soc_min does.
+  battery::BatteryConfig cfg = small_pack();
+  const auto r = ride_through(cfg, 20.0, std::vector<double>(4, 4.0), 1.0);
+  // 16 kWh delivered needs 17.8 kWh stored; available (20-2)*0.9 = 16.2.
+  EXPECT_TRUE(r.survived);
+}
+
+TEST(RideThrough, Validation) {
+  EXPECT_THROW(ride_through(small_pack(), 10.0, {1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(ride_through(small_pack(), 10.0, {-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(DrawOutages, CountScalesWithRate) {
+  OutageModel calm;
+  calm.rate_per_month = 0.5;
+  OutageModel stormy;
+  stormy.rate_per_month = 10.0;
+  Rng rng_a(1), rng_b(1);
+  const auto few = draw_outages(calm, 24 * 90, 1.0, rng_a);
+  const auto many = draw_outages(stormy, 24 * 90, 1.0, rng_b);
+  EXPECT_LT(few.size(), many.size());
+}
+
+TEST(DrawOutages, EventsWithinHorizonAndSorted) {
+  OutageModel model;
+  model.rate_per_month = 5.0;
+  Rng rng(2);
+  const auto events = draw_outages(model, 24 * 60, 1.0, rng);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_LT(events[i].start_slot, 24u * 60u);
+    EXPECT_GE(events[i].duration_slots, 1u);
+    if (i > 0) {
+      EXPECT_GE(events[i].start_slot, events[i - 1].start_slot);
+    }
+  }
+}
+
+TEST(DrawOutages, Validation) {
+  OutageModel bad;
+  bad.max_duration_h = 0.5;
+  bad.min_duration_h = 1.0;
+  Rng rng(3);
+  EXPECT_THROW(draw_outages(bad, 24, 1.0, rng), std::invalid_argument);
+  OutageModel ok;
+  EXPECT_THROW(draw_outages(ok, 0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(OutageSurvival, ProperReserveGuaranteesSurvival) {
+  // Size the floor for the worst 8-hour window (the max outage length);
+  // survival at that floor must be 100%.
+  const std::vector<double> bs(24 * 14, 3.0);  // constant 3 kW
+  battery::BatteryConfig pack = small_pack();
+  pack.capacity_kwh = 60.0;
+  OutageModel model;
+  model.min_duration_h = 1.0;
+  model.max_duration_h = 8.0;
+  const double reserve = battery::reserve_energy_worst_window(bs, 8, 1.0);  // 24 kWh
+  const double floor_frac =
+      battery::reserve_floor_fraction(reserve, pack.capacity_kwh, pack.discharge_efficiency);
+  const double floor_kwh = floor_frac * pack.capacity_kwh + pack.soc_min_frac * pack.capacity_kwh;
+  const auto stats = outage_survival(pack, floor_kwh, bs, model, 1.0, 200, Rng(4));
+  EXPECT_DOUBLE_EQ(stats.survival_rate, 1.0);
+}
+
+TEST(OutageSurvival, UndersizedReserveFails) {
+  const std::vector<double> bs(24 * 14, 3.0);
+  battery::BatteryConfig pack = small_pack();
+  OutageModel model;
+  model.min_duration_h = 6.0;
+  model.max_duration_h = 10.0;
+  // SoC barely above the hard floor: long outages must fail.
+  const auto stats = outage_survival(pack, 4.0, bs, model, 1.0, 200, Rng(5));
+  EXPECT_LT(stats.survival_rate, 0.5);
+}
+
+TEST(OutageSurvival, Validation) {
+  battery::BatteryConfig pack = small_pack();
+  OutageModel model;
+  EXPECT_THROW(outage_survival(pack, 5.0, {}, model, 1.0, 10, Rng(6)),
+               std::invalid_argument);
+  EXPECT_THROW(outage_survival(pack, 5.0, {1.0}, model, 1.0, 0, Rng(6)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecthub::core

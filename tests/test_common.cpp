@@ -1,0 +1,324 @@
+// Unit tests for the common substrate: time grid, RNG, statistics, tables.
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ecthub {
+namespace {
+
+// ---------------------------------------------------------------- TimeGrid
+
+TEST(TimeGrid, SizeAndSlotHours) {
+  const TimeGrid grid(30, 24);
+  EXPECT_EQ(grid.size(), 720u);
+  EXPECT_DOUBLE_EQ(grid.slot_hours(), 1.0);
+  const TimeGrid half(2, 48);
+  EXPECT_DOUBLE_EQ(half.slot_hours(), 0.5);
+}
+
+TEST(TimeGrid, RejectsZeroDays) {
+  EXPECT_THROW(TimeGrid(0, 24), std::invalid_argument);
+  EXPECT_THROW(TimeGrid(1, 0), std::invalid_argument);
+}
+
+TEST(TimeGrid, DayAndSlotDecomposition) {
+  const TimeGrid grid(3, 24);
+  EXPECT_EQ(grid.day_of(0), 0u);
+  EXPECT_EQ(grid.day_of(23), 0u);
+  EXPECT_EQ(grid.day_of(24), 1u);
+  EXPECT_EQ(grid.slot_of_day(24), 0u);
+  EXPECT_EQ(grid.slot_of_day(47), 23u);
+}
+
+TEST(TimeGrid, HourOfDay) {
+  const TimeGrid grid(2, 48);
+  EXPECT_DOUBLE_EQ(grid.hour_of_day(0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.hour_of_day(1), 0.5);
+  EXPECT_DOUBLE_EQ(grid.hour_of_day(49), 0.5);
+}
+
+TEST(TimeGrid, HoursFromStartAccumulates) {
+  const TimeGrid grid(2, 24);
+  EXPECT_DOUBLE_EQ(grid.hours_from_start(25), 25.0);
+}
+
+TEST(TimeGrid, DayOfWeekWrapsAtSeven) {
+  const TimeGrid grid(15, 24);
+  EXPECT_EQ(grid.day_of_week(0), 0u);
+  EXPECT_EQ(grid.day_of_week(7 * 24), 0u);
+  EXPECT_EQ(grid.day_of_week(8 * 24), 1u);
+}
+
+TEST(TimeGrid, WeekendDetection) {
+  const TimeGrid grid(7, 24);
+  EXPECT_FALSE(grid.is_weekend(0));
+  EXPECT_TRUE(grid.is_weekend(5 * 24));
+  EXPECT_TRUE(grid.is_weekend(6 * 24));
+}
+
+TEST(TimeGrid, OutOfRangeSlotThrows) {
+  const TimeGrid grid(1, 24);
+  EXPECT_THROW(grid.day_of(24), std::out_of_range);
+  EXPECT_THROW(grid.day_start(1), std::out_of_range);
+}
+
+TEST(TimeGrid, DayStart) {
+  const TimeGrid grid(3, 24);
+  EXPECT_EQ(grid.day_start(2), 48u);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats::mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stats::stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(5);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(acc / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonZeroMeanYieldsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ExponentialRejectsBadRate) {
+  Rng rng(5);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The fork advanced the parent, so both streams differ from a fresh Rng(42).
+  Rng fresh(42);
+  EXPECT_NE(child.uniform(), fresh.uniform());
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalRejectsBadInput) {
+  Rng rng(13);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<std::size_t> idx = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto copy = idx;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, idx);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(stats::variance(v), 1.25);
+}
+
+TEST(Stats, EmptyMeanIsZero) { EXPECT_DOUBLE_EQ(stats::mean({}), 0.0); }
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(stats::pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(stats::pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::pearson(x, c), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  EXPECT_THROW(stats::pearson({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 50), 20.0);
+  EXPECT_DOUBLE_EQ(stats::percentile(v, 25), 10.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(stats::percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(stats::percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, MovingAverageSmoothes) {
+  const std::vector<double> v = {0, 10, 0, 10, 0, 10};
+  const auto ma = stats::moving_average(v, 3);
+  EXPECT_EQ(ma.size(), v.size());
+  // Interior points average their neighbourhood.
+  EXPECT_NEAR(ma[2], (10.0 + 0.0 + 10.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const std::vector<double> v = {-1.0, 0.1, 0.5, 0.9, 2.0};
+  const auto h = stats::histogram(v, 0.0, 1.0, 2);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], v.size());
+  EXPECT_EQ(h[0], 2u);  // -1 clamped into bin 0, plus 0.1; 0.5/0.9/2.0 land in bin 1
+}
+
+TEST(Stats, AutocorrelationOfPeriodicSignal) {
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(stats::autocorrelation(v, 2), 0.9);
+  EXPECT_LT(stats::autocorrelation(v, 1), -0.9);
+}
+
+// ---------------------------------------------------------------- TextTable
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"Method", "Reward"});
+  t.begin_row().add("Ours").add_double(12.345, 2);
+  t.begin_row().add("OR").add_int(7);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_NE(s.find("OR"), std::string::npos);
+}
+
+TEST(TextTable, IncompleteRowThrowsOnRender) {
+  TextTable t({"a", "b"});
+  t.begin_row().add("only-one");
+  EXPECT_THROW(t.str(), std::logic_error);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), std::logic_error);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.begin_row().add("1").add("2");
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+// ---------------------------------------------------------------- CliFlags
+
+TEST(CliFlags, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=hello", "--flag"};
+  const CliFlags flags(5, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_EQ(flags.get_string("beta", ""), "hello");
+  EXPECT_TRUE(flags.get_bool("flag"));
+}
+
+TEST(CliFlags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const CliFlags flags(1, argv);
+  EXPECT_EQ(flags.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing"));
+}
+
+TEST(CliFlags, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  const CliFlags flags(3, argv);
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(CliFlags, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--k", "v", "pos2"};
+  const CliFlags flags(5, argv);
+  // "pos2" follows a consumed flag value, so only pos1 is positional... or
+  // both: --k consumes "v", then pos2 is positional.
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+}
+
+// ---------------------------------------------------------------- write_csv
+
+TEST(WriteCsv, RoundTripsColumns) {
+  const std::string path = testing::TempDir() + "/ecthub_test.csv";
+  write_csv(path, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,3");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsv, RejectsRaggedColumns) {
+  EXPECT_THROW(write_csv("/tmp/x.csv", {"a", "b"}, {{1.0}, {1.0, 2.0}}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecthub

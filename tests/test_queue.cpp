@@ -1,0 +1,125 @@
+// Tests for the M/M/s charging-station queue: Erlang-C closed forms,
+// simulator cross-validation against theory, and station sizing.
+#include "ev/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecthub::ev {
+namespace {
+
+TEST(MmsMetrics, MM1KnownValues) {
+  // M/M/1 with rho = 0.5: P(wait) = rho, Lq = rho^2/(1-rho) = 0.5.
+  MmsConfig cfg;
+  cfg.arrival_rate = 1.0;
+  cfg.service_rate = 2.0;
+  cfg.servers = 1;
+  const auto m = mms_metrics(cfg);
+  EXPECT_NEAR(m.utilization, 0.5, 1e-12);
+  EXPECT_NEAR(m.p_wait, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_queue_len, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_wait_h, 0.5, 1e-12);
+  EXPECT_NEAR(m.mean_in_system, 1.0, 1e-12);
+}
+
+TEST(MmsMetrics, ErlangCTwoServers) {
+  // M/M/2, lambda = 2, mu = 1.5 -> a = 4/3, rho = 2/3.
+  // Erlang-C = (a^2/2) / ((1-rho)(1 + a) + a^2/2) = 0.5333...
+  MmsConfig cfg;
+  cfg.arrival_rate = 2.0;
+  cfg.service_rate = 1.5;
+  cfg.servers = 2;
+  const auto m = mms_metrics(cfg);
+  const double a = 4.0 / 3.0;
+  const double expected_c =
+      (a * a / 2.0) / ((1.0 - 2.0 / 3.0) * (1.0 + a) + a * a / 2.0);
+  EXPECT_NEAR(m.p_wait, expected_c, 1e-12);
+  EXPECT_NEAR(m.mean_queue_len, expected_c * (2.0 / 3.0) / (1.0 / 3.0), 1e-12);
+}
+
+TEST(MmsMetrics, MoreServersReduceWaiting) {
+  MmsConfig two;
+  two.arrival_rate = 2.0;
+  two.service_rate = 1.5;
+  two.servers = 2;
+  MmsConfig four = two;
+  four.servers = 4;
+  EXPECT_GT(mms_metrics(two).mean_wait_h, mms_metrics(four).mean_wait_h);
+  EXPECT_GT(mms_metrics(two).p_wait, mms_metrics(four).p_wait);
+}
+
+TEST(MmsMetrics, UnstableQueueThrows) {
+  MmsConfig cfg;
+  cfg.arrival_rate = 3.0;
+  cfg.service_rate = 1.0;
+  cfg.servers = 3;  // rho = 1
+  EXPECT_THROW(mms_metrics(cfg), std::invalid_argument);
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(mms_metrics(cfg), std::invalid_argument);
+}
+
+TEST(MmsSimulation, MatchesErlangCTheory) {
+  // Property test: long simulation statistics converge to the closed form.
+  MmsConfig cfg;
+  cfg.arrival_rate = 2.0;
+  cfg.service_rate = 1.5;
+  cfg.servers = 2;
+  const auto theory = mms_metrics(cfg);
+  const auto sim = simulate_mms(cfg, 40000.0, Rng(7));
+  EXPECT_GT(sim.arrivals, 50000u);
+  EXPECT_NEAR(sim.mean_wait_h, theory.mean_wait_h, 0.08 * theory.mean_wait_h + 0.02);
+  EXPECT_NEAR(sim.fraction_waited, theory.p_wait, 0.05);
+}
+
+TEST(MmsSimulation, MM1MatchesTheoryToo) {
+  MmsConfig cfg;
+  cfg.arrival_rate = 0.8;
+  cfg.service_rate = 1.0;
+  cfg.servers = 1;
+  const auto theory = mms_metrics(cfg);
+  const auto sim = simulate_mms(cfg, 40000.0, Rng(8));
+  EXPECT_NEAR(sim.mean_wait_h, theory.mean_wait_h, 0.12 * theory.mean_wait_h);
+}
+
+TEST(MmsSimulation, LightLoadRarelyWaits) {
+  MmsConfig cfg;
+  cfg.arrival_rate = 0.2;
+  cfg.service_rate = 2.0;
+  cfg.servers = 3;
+  const auto sim = simulate_mms(cfg, 5000.0, Rng(9));
+  EXPECT_LT(sim.fraction_waited, 0.02);
+}
+
+TEST(MmsSimulation, Validation) {
+  MmsConfig cfg;
+  EXPECT_THROW(simulate_mms(cfg, 0.0, Rng(10)), std::invalid_argument);
+  EXPECT_THROW(simulate_mms(cfg, 10.0, Rng(10), 1.0), std::invalid_argument);
+}
+
+TEST(SizeStation, FindsMinimalPlugCount) {
+  // lambda = 2/h, mu = 1.5/h: 2 plugs give Wq ~= 0.53 h, 3 plugs ~= 0.1 h.
+  EXPECT_EQ(size_station(2.0, 1.5, 1.0), 2u);
+  EXPECT_EQ(size_station(2.0, 1.5, 0.2), 3u);
+}
+
+TEST(SizeStation, ThrowsWhenImpossible) {
+  EXPECT_THROW(size_station(100.0, 1.0, 0.001, 4), std::invalid_argument);
+  EXPECT_THROW(size_station(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+class LoadSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweepTest, SimTracksTheoryAcrossUtilizations) {
+  const double rho = GetParam();
+  MmsConfig cfg;
+  cfg.servers = 2;
+  cfg.service_rate = 1.0;
+  cfg.arrival_rate = rho * 2.0;
+  const auto theory = mms_metrics(cfg);
+  const auto sim = simulate_mms(cfg, 30000.0, Rng(42 + static_cast<std::uint64_t>(rho * 100)));
+  EXPECT_NEAR(sim.fraction_waited, theory.p_wait, 0.05) << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, LoadSweepTest, ::testing::Values(0.3, 0.5, 0.7, 0.85));
+
+}  // namespace
+}  // namespace ecthub::ev

@@ -1,0 +1,127 @@
+// Tests for the spatial substrate (Fig. 1: road/BS overlap).
+#include "spatial/placement.hpp"
+#include "spatial/roads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecthub::spatial {
+namespace {
+
+TEST(Segment, Length) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+}
+
+TEST(DistanceToSegment, PerpendicularProjection) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment({5, 3}, s), 3.0);
+}
+
+TEST(DistanceToSegment, ClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment({-3, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment({13, 4}, s), 5.0);
+}
+
+TEST(DistanceToSegment, DegenerateSegmentIsPointDistance) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(distance_to_segment({4, 5}, s), 5.0);
+}
+
+TEST(RoadNetwork, GeneratesConnectedTopology) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(1));
+  EXPECT_EQ(net.cities().size(), RoadNetworkConfig{}.num_cities);
+  // At least a spanning tree of highways plus local roads.
+  EXPECT_GE(net.segments().size(),
+            RoadNetworkConfig{}.num_cities - 1 +
+                RoadNetworkConfig{}.num_cities * RoadNetworkConfig{}.local_roads_per_city);
+  EXPECT_GT(net.total_length(), 0.0);
+}
+
+TEST(RoadNetwork, PointsStayInRegion) {
+  RoadNetworkConfig cfg;
+  cfg.region_km = 50.0;
+  const RoadNetwork net(cfg, Rng(2));
+  for (const auto& s : net.segments()) {
+    for (const Point& p : {s.a, s.b}) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 50.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 50.0);
+    }
+  }
+}
+
+TEST(RoadNetwork, DistanceToNearestRoadIsZeroOnRoad) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(3));
+  const Segment& s = net.segments().front();
+  EXPECT_NEAR(net.distance_to_nearest_road(s.a), 0.0, 1e-9);
+}
+
+TEST(RoadNetwork, RejectsBadConfig) {
+  RoadNetworkConfig bad;
+  bad.region_km = 0.0;
+  EXPECT_THROW(RoadNetwork(bad, Rng(1)), std::invalid_argument);
+  RoadNetworkConfig bad2;
+  bad2.num_cities = 1;
+  EXPECT_THROW(RoadNetwork(bad2, Rng(1)), std::invalid_argument);
+}
+
+TEST(BsPlacement, GeneratesRequestedCount) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(4));
+  PlacementConfig cfg;
+  cfg.num_stations = 500;
+  const BsPlacement placement(cfg, net, Rng(5));
+  EXPECT_EQ(placement.stations().size(), 500u);
+}
+
+TEST(BsPlacement, RoadBiasedStationsSitCloserThanUniform) {
+  // The Fig. 1 statistic: road-biased deployment clusters near roads.
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(6));
+  PlacementConfig cfg;
+  cfg.num_stations = 1000;
+  cfg.road_biased_fraction = 0.9;
+  const BsPlacement placement(cfg, net, Rng(7));
+  const OverlapStats st = placement.overlap_stats(net, 5000, Rng(8));
+  EXPECT_LT(st.mean_distance_km, st.uniform_mean_distance_km);
+  EXPECT_GT(st.within_1km_fraction, st.uniform_within_1km_fraction);
+  EXPECT_GT(st.clustering_ratio, 1.5);
+}
+
+TEST(BsPlacement, UnbiasedPlacementMatchesUniform) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(9));
+  PlacementConfig cfg;
+  cfg.num_stations = 2000;
+  cfg.road_biased_fraction = 0.0;
+  const BsPlacement placement(cfg, net, Rng(10));
+  const OverlapStats st = placement.overlap_stats(net, 5000, Rng(11));
+  EXPECT_NEAR(st.clustering_ratio, 1.0, 0.25);
+}
+
+TEST(BsPlacement, MoreBiasMeansMoreClustering) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(12));
+  auto ratio_at = [&](double bias) {
+    PlacementConfig cfg;
+    cfg.num_stations = 1500;
+    cfg.road_biased_fraction = bias;
+    const BsPlacement placement(cfg, net, Rng(13));
+    return placement.overlap_stats(net, 4000, Rng(14)).clustering_ratio;
+  };
+  EXPECT_GT(ratio_at(0.9), ratio_at(0.3));
+}
+
+TEST(BsPlacement, Validation) {
+  const RoadNetwork net(RoadNetworkConfig{}, Rng(15));
+  PlacementConfig bad;
+  bad.num_stations = 0;
+  EXPECT_THROW(BsPlacement(bad, net, Rng(16)), std::invalid_argument);
+  PlacementConfig bad2;
+  bad2.road_biased_fraction = 1.5;
+  EXPECT_THROW(BsPlacement(bad2, net, Rng(17)), std::invalid_argument);
+  PlacementConfig ok;
+  const BsPlacement placement(ok, net, Rng(18));
+  EXPECT_THROW(placement.overlap_stats(net, 0, Rng(19)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecthub::spatial

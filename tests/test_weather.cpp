@@ -1,0 +1,192 @@
+// Tests for the weather substrate (NSRDB substitute).
+#include "common/stats.hpp"
+#include "weather/solar.hpp"
+#include "weather/weather.hpp"
+#include "weather/wind.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecthub::weather {
+namespace {
+
+// ---------------------------------------------------------------- solar
+
+TEST(ClearSky, ZeroAtNight) {
+  SolarConfig cfg;
+  EXPECT_DOUBLE_EQ(clear_sky_ghi(cfg, 172, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_ghi(cfg, 172, 23.0), 0.0);
+}
+
+TEST(ClearSky, PeaksAtNoon) {
+  SolarConfig cfg;
+  const double noon = clear_sky_ghi(cfg, 172, 12.0);
+  EXPECT_GT(noon, clear_sky_ghi(cfg, 172, 9.0));
+  EXPECT_GT(noon, clear_sky_ghi(cfg, 172, 15.0));
+  EXPECT_GT(noon, 0.8 * cfg.peak_ghi);
+}
+
+TEST(ClearSky, SummerBrighterThanWinter) {
+  SolarConfig cfg;
+  // Day 172 = summer solstice, day 355 = winter solstice.
+  EXPECT_GT(clear_sky_ghi(cfg, 172, 12.0), clear_sky_ghi(cfg, 355, 12.0));
+}
+
+TEST(ClearSky, WinterDaysAreShorter) {
+  SolarConfig cfg;
+  cfg.season_daylength_swing_h = 4.0;
+  // 6 am is daylight in summer but dark in winter at this swing
+  // (summer sunrise = 5h, winter sunrise = ~7h).
+  EXPECT_GT(clear_sky_ghi(cfg, 172, 6.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_ghi(cfg, 355, 6.0), 0.0);
+}
+
+TEST(SolarModel, SeriesNonNegativeAndBounded) {
+  SolarModel model(SolarConfig{}, Rng(1));
+  const TimeGrid grid(10, 24);
+  const auto ghi = model.generate(grid);
+  ASSERT_EQ(ghi.size(), grid.size());
+  for (double g : ghi) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1200.0);
+  }
+}
+
+TEST(SolarModel, NightSlotsAreZero) {
+  SolarModel model(SolarConfig{}, Rng(2));
+  const TimeGrid grid(5, 24);
+  const auto ghi = model.generate(grid);
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    if (grid.hour_of_day(t) < 4.0 || grid.hour_of_day(t) > 21.0) {
+      EXPECT_DOUBLE_EQ(ghi[t], 0.0) << "slot " << t;
+    }
+  }
+}
+
+TEST(SolarModel, CloudsReduceEnergyVsClearSky) {
+  SolarConfig cloudy_cfg;
+  cloudy_cfg.cloud_switch_prob = 0.0;  // never leaves its initial state...
+  // Start states are random; instead compare a heavy-cloud config's mean
+  // against the clear-sky integral.
+  SolarConfig cfg;
+  cfg.cloudy_transmittance = 0.2;
+  cfg.cloud_switch_prob = 0.05;
+  SolarModel model(cfg, Rng(3));
+  const TimeGrid grid(30, 24);
+  const auto ghi = model.generate(grid);
+  double clear_total = 0.0;
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    clear_total += clear_sky_ghi(cfg, (cfg.start_day_of_year + grid.day_of(t)) % 365,
+                                 grid.hour_of_day(t));
+  }
+  EXPECT_LT(stats::sum(ghi), clear_total);
+}
+
+TEST(SolarModel, RejectsBadConfig) {
+  SolarConfig bad;
+  bad.peak_ghi = 0.0;
+  EXPECT_THROW(SolarModel(bad, Rng(1)), std::invalid_argument);
+  SolarConfig bad2;
+  bad2.cloud_switch_prob = 1.5;
+  EXPECT_THROW(SolarModel(bad2, Rng(1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- wind
+
+TEST(WindModel, SpeedsWithinPhysicalBounds) {
+  WindModel model(WindConfig{}, Rng(4));
+  const TimeGrid grid(30, 24);
+  const auto speed = model.generate(grid);
+  for (double v : speed) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, WindConfig{}.max_speed_ms);
+  }
+}
+
+TEST(WindModel, MeanRevertsToConfiguredSpeed) {
+  WindConfig cfg;
+  cfg.mean_speed_ms = 7.0;
+  WindModel model(cfg, Rng(5));
+  const TimeGrid grid(120, 24);
+  const auto speed = model.generate(grid);
+  EXPECT_NEAR(stats::mean(speed), 7.0, 1.2);
+}
+
+TEST(WindModel, IsVolatile) {
+  // The paper stresses renewable volatility; wind stddev must be material.
+  WindModel model(WindConfig{}, Rng(6));
+  const TimeGrid grid(60, 24);
+  const auto speed = model.generate(grid);
+  EXPECT_GT(stats::stddev(speed), 1.0);
+}
+
+TEST(WindModel, PersistentAcrossSlots) {
+  WindModel model(WindConfig{}, Rng(7));
+  const TimeGrid grid(60, 24);
+  const auto speed = model.generate(grid);
+  EXPECT_GT(stats::autocorrelation(speed, 1), 0.5);
+}
+
+TEST(WindModel, RejectsBadConfig) {
+  WindConfig bad;
+  bad.reversion_rate = 0.0;
+  EXPECT_THROW(WindModel(bad, Rng(1)), std::invalid_argument);
+  WindConfig bad2;
+  bad2.volatility = -1.0;
+  EXPECT_THROW(WindModel(bad2, Rng(1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- combined
+
+TEST(WeatherGenerator, AllChannelsShareGridLength) {
+  WeatherGenerator gen(WeatherConfig{}, Rng(8));
+  const TimeGrid grid(14, 24);
+  const WeatherSeries wx = gen.generate(grid);
+  EXPECT_EQ(wx.ghi_wm2.size(), grid.size());
+  EXPECT_EQ(wx.wind_speed_ms.size(), grid.size());
+  EXPECT_EQ(wx.temperature_c.size(), grid.size());
+  EXPECT_EQ(wx.size(), grid.size());
+}
+
+TEST(WeatherGenerator, DeterministicGivenSeed) {
+  const TimeGrid grid(7, 24);
+  const WeatherSeries a = WeatherGenerator(WeatherConfig{}, Rng(9)).generate(grid);
+  const WeatherSeries b = WeatherGenerator(WeatherConfig{}, Rng(9)).generate(grid);
+  EXPECT_EQ(a.ghi_wm2, b.ghi_wm2);
+  EXPECT_EQ(a.wind_speed_ms, b.wind_speed_ms);
+  EXPECT_EQ(a.temperature_c, b.temperature_c);
+}
+
+TEST(WeatherGenerator, TemperatureOscillatesAroundMean) {
+  WeatherConfig cfg;
+  cfg.mean_temperature_c = 20.0;
+  WeatherGenerator gen(cfg, Rng(10));
+  const TimeGrid grid(60, 24);
+  const WeatherSeries wx = gen.generate(grid);
+  EXPECT_NEAR(stats::mean(wx.temperature_c), 20.0, 1.0);
+  EXPECT_GT(stats::stddev(wx.temperature_c), 1.0);
+}
+
+TEST(WeatherGenerator, AfternoonWarmerThanNight) {
+  WeatherConfig cfg;
+  cfg.temp_noise_sigma = 0.0;
+  WeatherGenerator gen(cfg, Rng(11));
+  const TimeGrid grid(10, 24);
+  const WeatherSeries wx = gen.generate(grid);
+  double afternoon = 0, night = 0;
+  std::size_t na = 0, nn = 0;
+  for (std::size_t t = 0; t < grid.size(); ++t) {
+    const double h = grid.hour_of_day(t);
+    if (h >= 13 && h <= 16) {
+      afternoon += wx.temperature_c[t];
+      ++na;
+    }
+    if (h >= 1 && h <= 4) {
+      night += wx.temperature_c[t];
+      ++nn;
+    }
+  }
+  EXPECT_GT(afternoon / static_cast<double>(na), night / static_cast<double>(nn));
+}
+
+}  // namespace
+}  // namespace ecthub::weather
