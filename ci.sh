@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verify plus a bench-compile-only job.
+# Usage: ./ci.sh [build-dir-prefix]   (default: build-ci)
+set -eu
+
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> Job 1: configure + build + ctest (-Werror)"
+cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_BUILD_BENCH=OFF
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure --no-tests=error -j "${JOBS}"
+
+# Job 2 flips the bench gate on in the same tree, so the module libraries
+# from job 1 are reused and only the bench binaries compile fresh.
+echo "==> Job 2: bench compile-only (-Werror)"
+cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_BUILD_BENCH=ON
+cmake --build "${PREFIX}" -j "${JOBS}"
+
+echo "==> CI green"

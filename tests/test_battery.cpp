@@ -266,7 +266,7 @@ TEST(Degradation, OcvIncreasesWithSoc) {
 
 TEST(Reserve, FullLoadBound) {
   EXPECT_DOUBLE_EQ(reserve_energy_full_load(3.5, 4.0), 14.0);
-  EXPECT_THROW(reserve_energy_full_load(-1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)reserve_energy_full_load(-1.0, 4.0), std::invalid_argument);
 }
 
 TEST(Reserve, WorstWindowFindsPeak) {
@@ -281,9 +281,9 @@ TEST(Reserve, WorstWindowWholeTrace) {
 }
 
 TEST(Reserve, WorstWindowValidation) {
-  EXPECT_THROW(reserve_energy_worst_window({1.0}, 2, 1.0), std::invalid_argument);
-  EXPECT_THROW(reserve_energy_worst_window({1.0, 2.0}, 0, 1.0), std::invalid_argument);
-  EXPECT_THROW(reserve_energy_worst_window({1.0, 2.0}, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)reserve_energy_worst_window({1.0}, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)reserve_energy_worst_window({1.0, 2.0}, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)reserve_energy_worst_window({1.0, 2.0}, 1, 0.0), std::invalid_argument);
 }
 
 TEST(Reserve, FloorFractionAccountsForEfficiency) {

@@ -48,8 +48,8 @@ TEST(RideThrough, UsesFullBandDownToHardMinimum) {
 }
 
 TEST(RideThrough, Validation) {
-  EXPECT_THROW(ride_through(small_pack(), 10.0, {1.0}, 0.0), std::invalid_argument);
-  EXPECT_THROW(ride_through(small_pack(), 10.0, {-1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ride_through(small_pack(), 10.0, {1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ride_through(small_pack(), 10.0, {-1.0}, 1.0), std::invalid_argument);
 }
 
 TEST(DrawOutages, CountScalesWithRate) {
@@ -118,9 +118,9 @@ TEST(OutageSurvival, UndersizedReserveFails) {
 TEST(OutageSurvival, Validation) {
   battery::BatteryConfig pack = small_pack();
   OutageModel model;
-  EXPECT_THROW(outage_survival(pack, 5.0, {}, model, 1.0, 10, Rng(6)),
+  EXPECT_THROW((void)outage_survival(pack, 5.0, {}, model, 1.0, 10, Rng(6)),
                std::invalid_argument);
-  EXPECT_THROW(outage_survival(pack, 5.0, {1.0}, model, 1.0, 0, Rng(6)),
+  EXPECT_THROW((void)outage_survival(pack, 5.0, {1.0}, model, 1.0, 0, Rng(6)),
                std::invalid_argument);
 }
 

@@ -32,7 +32,7 @@ NcfConfig small_ncf() {
 TEST(Features, EncodeTimeValidatesHour) {
   EXPECT_EQ(encode_time(0), 0u);
   EXPECT_EQ(encode_time(23), 23u);
-  EXPECT_THROW(encode_time(24), std::invalid_argument);
+  EXPECT_THROW((void)encode_time(24), std::invalid_argument);
 }
 
 TEST(Features, EncodePreservesFields) {

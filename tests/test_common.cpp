@@ -66,8 +66,8 @@ TEST(TimeGrid, WeekendDetection) {
 
 TEST(TimeGrid, OutOfRangeSlotThrows) {
   const TimeGrid grid(1, 24);
-  EXPECT_THROW(grid.day_of(24), std::out_of_range);
-  EXPECT_THROW(grid.day_start(1), std::out_of_range);
+  EXPECT_THROW((void)grid.day_of(24), std::out_of_range);
+  EXPECT_THROW((void)grid.day_start(1), std::out_of_range);
 }
 
 TEST(TimeGrid, DayStart) {
@@ -289,7 +289,7 @@ TEST(CliFlags, DefaultsWhenAbsent) {
 TEST(CliFlags, BadIntegerThrows) {
   const char* argv[] = {"prog", "--n", "abc"};
   const CliFlags flags(3, argv);
-  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_int("n", 0), std::invalid_argument);
 }
 
 TEST(CliFlags, PositionalArguments) {

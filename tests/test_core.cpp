@@ -64,8 +64,8 @@ TEST(Profit, SlotEconomicsDollarConversion) {
 }
 
 TEST(Profit, SlotEconomicsValidation) {
-  EXPECT_THROW(slot_economics(1.0, 1.0, 10.0, 10.0, 0.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(slot_economics(-1.0, 1.0, 10.0, 10.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)slot_economics(1.0, 1.0, 10.0, 10.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)slot_economics(-1.0, 1.0, 10.0, 10.0, 0.0, 1.0), std::invalid_argument);
 }
 
 TEST(Profit, LedgerAggregatesByDay) {
@@ -354,7 +354,7 @@ TEST(Schedulers, RunSchedulerReturnsPerEpisodeProfits) {
 
 TEST(Fleet, AverageDailyReward) {
   EXPECT_NEAR(average_daily_reward({{1.0, 2.0}, {3.0}}), 2.0, 1e-12);
-  EXPECT_THROW(average_daily_reward({}), std::invalid_argument);
+  EXPECT_THROW((void)average_daily_reward({}), std::invalid_argument);
 }
 
 TEST(Fleet, RunHubExperimentSmoke) {

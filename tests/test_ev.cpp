@@ -104,7 +104,7 @@ TEST(Charges, NoiseFlipsOutcomeOccasionally) {
 
 TEST(Charges, RejectsBadNoise) {
   Rng rng(4);
-  EXPECT_THROW(charges(Stratum::kAlways, true, rng, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)charges(Stratum::kAlways, true, rng, 0.6), std::invalid_argument);
 }
 
 TEST(Stratum, ToStringCoversAll) {

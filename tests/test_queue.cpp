@@ -52,9 +52,9 @@ TEST(MmsMetrics, UnstableQueueThrows) {
   cfg.arrival_rate = 3.0;
   cfg.service_rate = 1.0;
   cfg.servers = 3;  // rho = 1
-  EXPECT_THROW(mms_metrics(cfg), std::invalid_argument);
+  EXPECT_THROW((void)mms_metrics(cfg), std::invalid_argument);
   cfg.arrival_rate = 0.0;
-  EXPECT_THROW(mms_metrics(cfg), std::invalid_argument);
+  EXPECT_THROW((void)mms_metrics(cfg), std::invalid_argument);
 }
 
 TEST(MmsSimulation, MatchesErlangCTheory) {
@@ -91,8 +91,8 @@ TEST(MmsSimulation, LightLoadRarelyWaits) {
 
 TEST(MmsSimulation, Validation) {
   MmsConfig cfg;
-  EXPECT_THROW(simulate_mms(cfg, 0.0, Rng(10)), std::invalid_argument);
-  EXPECT_THROW(simulate_mms(cfg, 10.0, Rng(10), 1.0), std::invalid_argument);
+  EXPECT_THROW((void)simulate_mms(cfg, 0.0, Rng(10)), std::invalid_argument);
+  EXPECT_THROW((void)simulate_mms(cfg, 10.0, Rng(10), 1.0), std::invalid_argument);
 }
 
 TEST(SizeStation, FindsMinimalPlugCount) {
@@ -102,8 +102,8 @@ TEST(SizeStation, FindsMinimalPlugCount) {
 }
 
 TEST(SizeStation, ThrowsWhenImpossible) {
-  EXPECT_THROW(size_station(100.0, 1.0, 0.001, 4), std::invalid_argument);
-  EXPECT_THROW(size_station(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)size_station(100.0, 1.0, 0.001, 4), std::invalid_argument);
+  EXPECT_THROW((void)size_station(1.0, 1.0, 0.0), std::invalid_argument);
 }
 
 class LoadSweepTest : public ::testing::TestWithParam<double> {};

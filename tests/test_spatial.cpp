@@ -120,7 +120,7 @@ TEST(BsPlacement, Validation) {
   EXPECT_THROW(BsPlacement(bad2, net, Rng(17)), std::invalid_argument);
   PlacementConfig ok;
   const BsPlacement placement(ok, net, Rng(18));
-  EXPECT_THROW(placement.overlap_stats(net, 0, Rng(19)), std::invalid_argument);
+  EXPECT_THROW((void)placement.overlap_stats(net, 0, Rng(19)), std::invalid_argument);
 }
 
 }  // namespace
