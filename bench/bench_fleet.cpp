@@ -1,0 +1,106 @@
+// Fleet-engine benchmark: multi-hub throughput vs thread count.
+//
+// Runs the same N-hub fleet (cycling through the built-in scenarios) at each
+// requested thread count, reports wall time / throughput / speedup, and
+// cross-checks that every thread count reproduces the 1-thread per-hub
+// profits bit for bit — the determinism contract of the FleetRunner.
+//
+//   $ ./bench_fleet [--hubs 32] [--days 4] [--episodes 1]
+//                   [--threads-list 1,2,4,8] [--base-seed 7]
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/fleet_runner.hpp"
+#include "sim/scenario.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::size_t> parse_thread_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::istringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecthub;
+  const CliFlags flags(argc, argv);
+  const auto require_positive = [&](const char* name, std::int64_t def) {
+    const std::int64_t v = flags.get_int(name, def);
+    if (v <= 0) {
+      std::cerr << "bench_fleet: --" << name << " must be >= 1\n";
+      std::exit(1);
+    }
+    return static_cast<std::size_t>(v);
+  };
+  const std::size_t hubs = require_positive("hubs", 32);
+  const std::size_t days = require_positive("days", 4);
+  const std::size_t episodes = require_positive("episodes", 1);
+  const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
+  const std::vector<std::size_t> thread_list =
+      parse_thread_list(flags.get_string("threads-list", "1,2,4,8"));
+
+  const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
+  const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
+      registry, registry.keys(), hubs, days, sim::SchedulerKind::kGreedyPrice);
+
+  const std::size_t slots = episodes * days * jobs.front().env.slots_per_day;
+  std::cout << "=== Fleet throughput: " << hubs << " hubs x " << slots
+            << " slots, base seed " << base_seed << " ===\n";
+
+  const auto timed_run = [&](std::size_t threads, std::vector<sim::HubRunResult>& out) {
+    sim::FleetRunnerConfig cfg;
+    cfg.base_seed = base_seed;
+    cfg.threads = threads;
+    cfg.episodes_per_hub = episodes;
+    const sim::FleetRunner runner(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    out = runner.run(jobs);
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  };
+
+  // The reference is always an explicit 1-thread run — every entry of
+  // --threads-list is checked against it, whatever order it lists.
+  std::vector<sim::HubRunResult> reference;
+  const double serial_ms = timed_run(1, reference);
+
+  TextTable table({"threads", "wall ms", "hubs/s", "kslots/s", "speedup", "bit-identical"});
+  for (const std::size_t threads : thread_list) {
+    std::vector<sim::HubRunResult> results;
+    const double ms = timed_run(threads, results);
+
+    bool identical = results.size() == reference.size();
+    for (std::size_t i = 0; identical && i < results.size(); ++i) {
+      identical = results[i].profit == reference[i].profit &&
+                  results[i].revenue == reference[i].revenue &&
+                  results[i].soc.checksum == reference[i].soc.checksum;
+    }
+    table.begin_row()
+        .add_int(static_cast<long long>(threads))
+        .add_double(ms, 1)
+        .add_double(static_cast<double>(hubs) * 1000.0 / ms, 1)
+        .add_double(static_cast<double>(hubs * slots) / ms, 1)
+        .add_double(serial_ms / ms, 2)
+        .add(identical ? "yes" : "NO");
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION at " << threads << " threads\n";
+      table.print(std::cout);
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -17,4 +17,14 @@ echo "==> Job 2: bench compile-only (-Werror)"
 cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_BUILD_BENCH=ON
 cmake --build "${PREFIX}" -j "${JOBS}"
 
+# Job 3 runs the tier-1 suite under ASan + UBSan in a separate tree: the
+# fleet runner executes hubs across a thread pool, so every push exercises
+# the threaded code under the sanitizers.
+echo "==> Job 3: ASan+UBSan tier-1"
+cmake -B "${PREFIX}-asan" -S . -DECTHUB_SANITIZE=ON -DECTHUB_BUILD_BENCH=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${PREFIX}-asan" -j "${JOBS}"
+UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
+  --output-on-failure --no-tests=error -j "${JOBS}"
+
 echo "==> CI green"

@@ -17,20 +17,33 @@ constexpr double kGhiScale = 1000.0;    // W/m^2
 constexpr double kWindScale = 25.0;     // m/s
 }  // namespace
 
-EctHubEnv::EctHubEnv(HubConfig hub, HubEnvConfig env_cfg)
-    : hub_(std::move(hub)), cfg_(env_cfg), rng_(hub_.seed) {
-  if (cfg_.episode_days == 0) throw std::invalid_argument("HubEnvConfig: episode_days == 0");
-  if (cfg_.slots_per_day == 0) throw std::invalid_argument("HubEnvConfig: slots_per_day == 0");
-  if (cfg_.lookback == 0) throw std::invalid_argument("HubEnvConfig: lookback == 0");
-  if (!cfg_.discount_by_hour.empty() && cfg_.discount_by_hour.size() != 24) {
+HubEnvConfig EctHubEnv::validated(HubEnvConfig cfg) {
+  if (cfg.episode_days == 0) throw std::invalid_argument("HubEnvConfig: episode_days == 0");
+  if (cfg.slots_per_day == 0) throw std::invalid_argument("HubEnvConfig: slots_per_day == 0");
+  if (cfg.lookback == 0) throw std::invalid_argument("HubEnvConfig: lookback == 0");
+  if (!cfg.discount_by_hour.empty() && cfg.discount_by_hour.size() != 24) {
     throw std::invalid_argument("HubEnvConfig: discount_by_hour must have 24 entries");
   }
-  if (cfg_.discount_fraction < 0.0 || cfg_.discount_fraction >= 1.0) {
+  if (cfg.discount_fraction < 0.0 || cfg.discount_fraction >= 1.0) {
     throw std::invalid_argument("HubEnvConfig: discount_fraction out of [0, 1)");
   }
-  if (!(0.0 <= cfg_.init_soc_lo && cfg_.init_soc_lo <= cfg_.init_soc_hi &&
-        cfg_.init_soc_hi <= 1.0)) {
+  if (!(0.0 <= cfg.init_soc_lo && cfg.init_soc_lo <= cfg.init_soc_hi &&
+        cfg.init_soc_hi <= 1.0)) {
     throw std::invalid_argument("HubEnvConfig: bad init SoC range");
+  }
+  return cfg;
+}
+
+EctHubEnv::EctHubEnv(HubConfig hub, HubEnvConfig env_cfg)
+    : hub_(std::move(hub)),
+      cfg_(validated(std::move(env_cfg))),
+      rng_(hub_.seed),
+      ledger_(cfg_.slots_per_day) {
+  // Fail on a bad battery (e.g. zero capacity) at construction, not at the
+  // first reset deep inside a worker thread.
+  hub_.battery.validate();
+  if (hub_.recovery_hours < 0.0) {
+    throw std::invalid_argument("HubConfig: recovery_hours < 0");
   }
 }
 
@@ -48,21 +61,25 @@ void EctHubEnv::generate_episode() {
   const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
 
   // Traffic drives both BS power (Eq. 1) and the RTP load coupling (Fig. 5).
+  // Generator output vectors are moved into the episode buffers; series
+  // derived from them are computed in place so the buffers' capacity is
+  // reused across resets.
   traffic::TrafficGenerator traffic_gen(hub_.traffic, rng_.fork());
-  const traffic::TrafficTrace trace = traffic_gen.generate(grid);
-  load_rate_ = trace.load_rate;
+  traffic::TrafficTrace trace = traffic_gen.generate(grid);
+  load_rate_ = std::move(trace.load_rate);
   const power::BaseStation bs(hub_.bs);
-  bs_kw_ = bs.series(load_rate_);
+  bs_kw_.resize(grid.size());
+  for (std::size_t t = 0; t < grid.size(); ++t) bs_kw_[t] = bs.power_kw(load_rate_[t]);
 
   // Weather -> renewables.
   weather::WeatherGenerator wx_gen(hub_.weather, rng_.fork());
   const weather::WeatherSeries wx = wx_gen.generate(grid);
+  const renewables::RenewablePlant plant(hub_.plant);
+  renewables::GenerationSeries gen = plant.generate(wx);
   ghi_ = wx.ghi_wm2;
   wind_ = wx.wind_speed_ms;
-  const renewables::RenewablePlant plant(hub_.plant);
-  const renewables::GenerationSeries gen = plant.generate(wx);
-  pv_kw_ = gen.pv_w;
-  wt_kw_ = gen.wt_w;
+  pv_kw_ = std::move(gen.pv_w);
+  wt_kw_ = std::move(gen.wt_w);
   // Plant model reports watts; the hub works in kW.
   for (double& p : pv_kw_) p /= 1000.0;
   for (double& p : wt_kw_) p /= 1000.0;
@@ -75,16 +92,16 @@ void EctHubEnv::generate_episode() {
   pricing::RtpGenerator rtp_gen(hub_.rtp, rng_.fork());
   rtp_ = rtp_gen.generate(grid, load_rate_);
 
-  std::vector<bool> discounted(grid.size(), false);
+  discounted_.assign(grid.size(), false);
   if (!cfg_.discount_by_hour.empty()) {
     for (std::size_t t = 0; t < grid.size(); ++t) {
       const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
-      discounted[t] = cfg_.discount_by_hour[hour % 24];
+      discounted_[t] = cfg_.discount_by_hour[hour % 24];
     }
   }
   const pricing::SellingPricePolicy selling(
       hub_.selling,
-      pricing::DiscountSchedule::from_flags(discounted, cfg_.discount_fraction));
+      pricing::DiscountSchedule::from_flags(discounted_, cfg_.discount_fraction));
   srtp_ = selling.series(rtp_);
 
   // EV occupancy under the discount schedule.
@@ -92,12 +109,12 @@ void EctHubEnv::generate_episode() {
                                   hub_.ev_evening_commuter);
   const ev::ChargingStation station(hub_.station, profile);
   Rng ev_rng = rng_.fork();
-  const ev::OccupancySeries occ = station.simulate(grid, discounted, ev_rng);
-  cs_kw_ = occ.power_kw;
+  ev::OccupancySeries occ = station.simulate(grid, discounted_, ev_rng);
+  cs_kw_ = std::move(occ.power_kw);
 
-  // Battery with the Eq. 6 blackout reserve floor.
-  pack_ = std::make_unique<battery::BatteryPack>(
-      hub_.battery, rng_.uniform(cfg_.init_soc_lo, cfg_.init_soc_hi));
+  // Battery with the Eq. 6 blackout reserve floor, re-emplaced in place (no
+  // per-reset heap allocation).
+  pack_.emplace(hub_.battery, rng_.uniform(cfg_.init_soc_lo, cfg_.init_soc_hi));
   const auto recovery_slots = static_cast<std::size_t>(
       std::ceil(hub_.recovery_hours / grid.slot_hours()));
   if (recovery_slots > 0) {
@@ -111,7 +128,7 @@ void EctHubEnv::generate_episode() {
     pack_->set_reserve_floor_kwh(floor_kwh);
   }
 
-  ledger_ = std::make_unique<ProfitLedger>(cfg_.slots_per_day);
+  ledger_.reset();
   t_ = 0;
   episode_ready_ = true;
 }
@@ -163,7 +180,7 @@ rl::StepResult EctHubEnv::step(std::size_t action) {
   const power::PowerFlow flow{bs_kw_[t_], cs_kw_[t_], bp.bus_power_kw, wt_kw_[t_], pv_kw_[t_]};
   const SlotEconomics econ =
       slot_economics(flow.cs_kw, flow.grid_kw(), srtp_[t_], rtp_[t_], bp.op_cost, dt);
-  ledger_->record(econ);
+  ledger_.record(econ);
 
   double reward = econ.profit();
   if (cfg_.shaped_reward) {

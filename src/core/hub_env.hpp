@@ -17,7 +17,7 @@
 #include "rl/env.hpp"
 
 #include <cstddef>
-#include <memory>
+#include <optional>
 #include <vector>
 
 namespace ecthub::core {
@@ -47,6 +47,11 @@ struct HubEnvConfig {
 
 class EctHubEnv final : public rl::Env {
  public:
+  /// Validates both configurations eagerly (including the battery pack, so a
+  /// zero-capacity pack fails here rather than at the first reset).
+  /// Construction is cheap — all episode buffers are allocated lazily on the
+  /// first reset() and reused across subsequent resets — so fleet workers can
+  /// build an env per hub without paying a large up-front cost.
   EctHubEnv(HubConfig hub, HubEnvConfig env_cfg);
 
   std::vector<double> reset() override;
@@ -65,7 +70,7 @@ class EctHubEnv final : public rl::Env {
   [[nodiscard]] double soc_frac() const { return pack_->soc_frac(); }
   [[nodiscard]] double hour_of_day(std::size_t t) const;
   [[nodiscard]] const battery::BatteryPack& pack() const { return *pack_; }
-  [[nodiscard]] const ProfitLedger& ledger() const { return *ledger_; }
+  [[nodiscard]] const ProfitLedger& ledger() const { return ledger_; }
   [[nodiscard]] const HubConfig& hub() const noexcept { return hub_; }
   [[nodiscard]] const HubEnvConfig& env_config() const noexcept { return cfg_; }
 
@@ -75,6 +80,7 @@ class EctHubEnv final : public rl::Env {
   [[nodiscard]] const std::vector<double>& renewable_series() const { return renewable_kw_; }
 
  private:
+  [[nodiscard]] static HubEnvConfig validated(HubEnvConfig cfg);
   [[nodiscard]] std::vector<double> observe() const;
   void generate_episode();
 
@@ -82,7 +88,9 @@ class EctHubEnv final : public rl::Env {
   HubEnvConfig cfg_;
   Rng rng_;
 
-  // Episode series (regenerated at each reset).
+  // Episode series.  Regenerated at each reset *in place*: the vectors keep
+  // their capacity across episodes, so after the first reset an episode costs
+  // no heap allocation beyond what the stochastic generators themselves do.
   std::vector<double> rtp_;
   std::vector<double> srtp_;
   std::vector<double> load_rate_;
@@ -93,9 +101,10 @@ class EctHubEnv final : public rl::Env {
   std::vector<double> pv_kw_;
   std::vector<double> wt_kw_;
   std::vector<double> renewable_kw_;
+  std::vector<bool> discounted_;  ///< per-slot discount flags scratch
 
-  std::unique_ptr<battery::BatteryPack> pack_;
-  std::unique_ptr<ProfitLedger> ledger_;
+  std::optional<battery::BatteryPack> pack_;  ///< in-place, re-emplaced per reset
+  ProfitLedger ledger_;                       ///< reused via reset() per episode
   std::size_t t_ = 0;
   bool episode_ready_ = false;
 };

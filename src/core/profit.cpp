@@ -21,6 +21,14 @@ ProfitLedger::ProfitLedger(std::size_t slots_per_day) : slots_per_day_(slots_per
   if (slots_per_day == 0) throw std::invalid_argument("ProfitLedger: slots_per_day == 0");
 }
 
+void ProfitLedger::reset() {
+  slots_ = 0;
+  revenue_ = 0.0;
+  grid_cost_ = 0.0;
+  bp_cost_ = 0.0;
+  daily_.clear();
+}
+
 void ProfitLedger::record(const SlotEconomics& e) {
   if (slots_ % slots_per_day_ == 0) daily_.push_back(0.0);
   daily_.back() += e.profit();

@@ -39,6 +39,10 @@ class ProfitLedger {
 
   void record(const SlotEconomics& e);
 
+  /// Clears all totals and the daily series, keeping the day length — lets
+  /// one ledger instance be reused across episodes without reallocation.
+  void reset();
+
   [[nodiscard]] double total_revenue() const noexcept { return revenue_; }
   [[nodiscard]] double total_grid_cost() const noexcept { return grid_cost_; }
   [[nodiscard]] double total_bp_cost() const noexcept { return bp_cost_; }

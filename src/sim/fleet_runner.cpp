@@ -1,0 +1,187 @@
+#include "sim/fleet_runner.hpp"
+
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace ecthub::sim {
+
+std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t hub_id) noexcept {
+  // splitmix64 finalizer over a golden-ratio stride; (hub_id + 1) keeps
+  // hub 0 from collapsing onto the raw base seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (hub_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+SchedulerKind scheduler_kind_from_string(const std::string& name) {
+  if (name == "none") return SchedulerKind::kNoBattery;
+  if (name == "tou") return SchedulerKind::kTou;
+  if (name == "greedy") return SchedulerKind::kGreedyPrice;
+  if (name == "forecast") return SchedulerKind::kForecast;
+  if (name == "random") return SchedulerKind::kRandom;
+  throw std::invalid_argument("scheduler_kind_from_string: unknown scheduler '" + name +
+                              "' (want none|tou|greedy|forecast|random)");
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNoBattery: return "none";
+    case SchedulerKind::kTou: return "tou";
+    case SchedulerKind::kGreedyPrice: return "greedy";
+    case SchedulerKind::kForecast: return "forecast";
+    case SchedulerKind::kRandom: return "random";
+  }
+  throw std::invalid_argument("to_string: bad SchedulerKind");
+}
+
+std::unique_ptr<core::Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kNoBattery: return std::make_unique<core::NoBatteryScheduler>();
+    case SchedulerKind::kTou: return std::make_unique<core::TouScheduler>();
+    case SchedulerKind::kGreedyPrice: return std::make_unique<core::GreedyPriceScheduler>();
+    case SchedulerKind::kForecast: return std::make_unique<core::ForecastScheduler>();
+    case SchedulerKind::kRandom: return std::make_unique<core::RandomScheduler>(seed);
+  }
+  throw std::invalid_argument("make_scheduler: bad SchedulerKind");
+}
+
+std::vector<FleetJob> make_fleet_jobs(const ScenarioRegistry& registry,
+                                      const std::vector<std::string>& scenario_keys,
+                                      std::size_t count, std::size_t episode_days,
+                                      SchedulerKind scheduler) {
+  if (scenario_keys.empty()) {
+    throw std::invalid_argument("make_fleet_jobs: no scenario keys");
+  }
+  std::vector<FleetJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& key = scenario_keys[i % scenario_keys.size()];
+    const Scenario& scenario = registry.at(key);
+    FleetJob job;
+    job.hub = scenario.make_hub(key + "-" + std::to_string(i), 0);
+    job.env = scenario.env;
+    job.env.episode_days = episode_days;
+    job.scenario = key;
+    job.scheduler = scheduler;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+FleetRunner::FleetRunner(FleetRunnerConfig cfg) : cfg_(cfg) {
+  if (cfg_.episodes_per_hub == 0) {
+    throw std::invalid_argument("FleetRunnerConfig: episodes_per_hub == 0");
+  }
+}
+
+HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
+                                  const FleetRunnerConfig& cfg) {
+  const std::uint64_t hub_seed = mix_seed(cfg.base_seed, hub_id);
+
+  core::HubConfig hub = job.hub;
+  hub.seed = hub_seed;
+  core::EctHubEnv env(std::move(hub), job.env);
+  // The scheduler stream must be independent of the hub stream: xor with a
+  // fixed tag so a RandomScheduler never replays the env's own draws.
+  const auto sched = make_scheduler(job.scheduler, hub_seed ^ 0xec7ec7ec7ec7ec7eULL);
+
+  HubRunResult r;
+  r.hub_id = hub_id;
+  r.hub_name = job.hub.name;
+  r.scenario = job.scenario;
+  r.scheduler = job.scheduler;
+  r.seed = hub_seed;
+  r.episodes = cfg.episodes_per_hub;
+  r.slots_per_episode = env.slots_per_episode();
+  r.episode_profit.reserve(cfg.episodes_per_hub);
+
+  for (std::size_t ep = 0; ep < cfg.episodes_per_hub; ++ep) {
+    env.reset();
+    const bool record_soc = ep + 1 == cfg.episodes_per_hub;
+    SocDigest soc;
+    if (record_soc) {
+      soc.first = env.soc_frac();
+      soc.min = std::numeric_limits<double>::infinity();
+      soc.max = -std::numeric_limits<double>::infinity();
+    }
+    bool done = false;
+    while (!done) {
+      done = env.step(sched->decide(env)).done;
+      if (record_soc) {
+        const double s = env.soc_frac();
+        soc.last = s;
+        soc.min = std::min(soc.min, s);
+        soc.max = std::max(soc.max, s);
+        soc.checksum += s;
+        ++soc.samples;
+      }
+    }
+    if (record_soc) {
+      soc.mean = soc.samples > 0 ? soc.checksum / static_cast<double>(soc.samples) : 0.0;
+      r.soc = soc;
+    }
+    const core::ProfitLedger& ledger = env.ledger();
+    r.revenue += ledger.total_revenue();
+    r.grid_cost += ledger.total_grid_cost();
+    r.bp_cost += ledger.total_bp_cost();
+    r.profit += ledger.total_profit();
+    r.episode_profit.push_back(ledger.total_profit());
+  }
+  return r;
+}
+
+std::vector<HubRunResult> FleetRunner::run(const std::vector<FleetJob>& jobs) const {
+  std::vector<HubRunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::size_t threads = cfg_.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, jobs.size());
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i], i, cfg_);
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker owns the result slot of the
+  // job it claims, so no two threads ever touch the same element.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        results[i] = run_job(jobs[i], i, cfg_);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Drain the queue so the other workers stop claiming jobs and the
+        // error surfaces immediately instead of after the full sweep.
+        next.store(jobs.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace ecthub::sim

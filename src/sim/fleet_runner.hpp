@@ -1,0 +1,117 @@
+// FleetRunner: N independent hub episodes across a thread pool.
+//
+// Each job (hub config + episode shape + scheduler kind) is fully
+// self-contained: the worker constructs its own EctHubEnv and Scheduler, and
+// every stochastic stream is seeded as seed = mix_seed(base_seed, hub_id) —
+// RNG state is never shared between hubs.  Results are written into a
+// per-job slot, so the output is bit-identical regardless of thread count or
+// scheduling order: running 32 hubs on 1 thread or 8 threads produces the
+// same ledgers to the last bit.  That property is the foundation every
+// future sharding/batching layer builds on, and tests/test_sim.cpp pins it.
+#pragma once
+
+#include "core/hub_config.hpp"
+#include "core/hub_env.hpp"
+#include "core/schedulers.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecthub::sim {
+
+/// Deterministic per-hub seed: a splitmix64 finalizer over (base, hub_id).
+/// Distinct hub ids map to well-separated seeds even for adjacent bases.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base_seed,
+                                     std::uint64_t hub_id) noexcept;
+
+/// Rule-based scheduler families the runner can instantiate per worker.
+enum class SchedulerKind { kNoBattery, kTou, kGreedyPrice, kForecast, kRandom };
+
+/// Parses "none" | "tou" | "greedy" | "forecast" | "random" (case-sensitive).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] SchedulerKind scheduler_kind_from_string(const std::string& name);
+[[nodiscard]] std::string to_string(SchedulerKind kind);
+
+/// Fresh scheduler instance; cheap enough to build once per worker.  `seed`
+/// only matters for kRandom.
+[[nodiscard]] std::unique_ptr<core::Scheduler> make_scheduler(SchedulerKind kind,
+                                                              std::uint64_t seed);
+
+/// One unit of fleet work: a hub evaluated under one scheduler.  The hub's
+/// `seed` field is overridden by the runner with mix_seed(base_seed, hub_id).
+struct FleetJob {
+  core::HubConfig hub;
+  core::HubEnvConfig env;
+  std::string scenario = "custom";  ///< label carried into the report
+  SchedulerKind scheduler = SchedulerKind::kTou;
+};
+
+/// Digest of the SoC trajectory over the job's last episode.
+struct SocDigest {
+  double first = 0.0;
+  double last = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double checksum = 0.0;  ///< plain sum in slot order — drift detector
+  std::size_t samples = 0;
+};
+
+struct HubRunResult {
+  std::size_t hub_id = 0;
+  std::string hub_name;
+  std::string scenario;
+  SchedulerKind scheduler = SchedulerKind::kTou;
+  std::uint64_t seed = 0;  ///< the mixed per-hub seed actually used
+  std::size_t episodes = 0;
+  std::size_t slots_per_episode = 0;
+
+  // Ledger totals accumulated across all episodes of the job.
+  double revenue = 0.0;
+  double grid_cost = 0.0;
+  double bp_cost = 0.0;
+  double profit = 0.0;
+
+  std::vector<double> episode_profit;  ///< per-episode true profit
+  SocDigest soc;                       ///< last episode's SoC trajectory
+};
+
+class ScenarioRegistry;  // scenario.hpp
+
+/// Builds `count` jobs cycling round-robin through `scenario_keys` (each must
+/// exist in `registry`).  Hub i is named "<key>-<i>" and runs the scenario's
+/// episode shape with `episode_days` days.  The shared job-construction path
+/// of the sweep driver, the fleet bench and the determinism tests.
+[[nodiscard]] std::vector<FleetJob> make_fleet_jobs(
+    const ScenarioRegistry& registry, const std::vector<std::string>& scenario_keys,
+    std::size_t count, std::size_t episode_days, SchedulerKind scheduler);
+
+struct FleetRunnerConfig {
+  std::uint64_t base_seed = 7;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  std::size_t episodes_per_hub = 1;
+};
+
+class FleetRunner {
+ public:
+  explicit FleetRunner(FleetRunnerConfig cfg);
+
+  /// Runs every job; results[i] corresponds to jobs[i] (hub_id == i).  The
+  /// first exception thrown by any worker is rethrown after all workers have
+  /// been joined.
+  [[nodiscard]] std::vector<HubRunResult> run(const std::vector<FleetJob>& jobs) const;
+
+  /// Executes one job synchronously — the exact function each worker runs.
+  [[nodiscard]] static HubRunResult run_job(const FleetJob& job, std::size_t hub_id,
+                                            const FleetRunnerConfig& cfg);
+
+  [[nodiscard]] const FleetRunnerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  FleetRunnerConfig cfg_;
+};
+
+}  // namespace ecthub::sim

@@ -1,0 +1,96 @@
+#include "sim/report.hpp"
+
+namespace ecthub::sim {
+
+void GroupStats::absorb(const HubRunResult& r) {
+  ++hubs;
+  episodes += r.episodes;
+  revenue += r.revenue;
+  grid_cost += r.grid_cost;
+  bp_cost += r.bp_cost;
+  profit += r.profit;
+  soc_mean_sum += r.soc.mean;
+}
+
+AggregateReport::AggregateReport(const std::vector<HubRunResult>& results) {
+  for (const HubRunResult& r : results) add(r);
+}
+
+void AggregateReport::add(const HubRunResult& r) {
+  totals_.absorb(r);
+  by_scenario_[r.scenario].absorb(r);
+  by_scheduler_[to_string(r.scheduler)].absorb(r);
+}
+
+namespace {
+
+void merge_group(GroupStats& into, const GroupStats& from) {
+  into.hubs += from.hubs;
+  into.episodes += from.episodes;
+  into.revenue += from.revenue;
+  into.grid_cost += from.grid_cost;
+  into.bp_cost += from.bp_cost;
+  into.profit += from.profit;
+  into.soc_mean_sum += from.soc_mean_sum;
+}
+
+void add_group_row(TextTable& table, const std::string& label, const GroupStats& g) {
+  table.begin_row()
+      .add(label)
+      .add_int(static_cast<long long>(g.hubs))
+      .add_int(static_cast<long long>(g.episodes))
+      .add_double(g.revenue, 2)
+      .add_double(g.grid_cost, 2)
+      .add_double(g.bp_cost, 2)
+      .add_double(g.profit, 2)
+      .add_double(g.profit_per_hub(), 2)
+      .add_double(g.mean_soc(), 3);
+}
+
+TextTable group_table(const std::string& key_header,
+                      const std::map<std::string, GroupStats>& groups,
+                      const GroupStats& totals) {
+  TextTable table({key_header, "hubs", "episodes", "revenue($)", "grid($)", "wear($)",
+                   "profit($)", "profit/hub($)", "mean SoC"});
+  for (const auto& [key, stats] : groups) add_group_row(table, key, stats);
+  add_group_row(table, "TOTAL", totals);
+  return table;
+}
+
+}  // namespace
+
+void AggregateReport::merge(const AggregateReport& other) {
+  merge_group(totals_, other.totals_);
+  for (const auto& [key, stats] : other.by_scenario_) merge_group(by_scenario_[key], stats);
+  for (const auto& [key, stats] : other.by_scheduler_) {
+    merge_group(by_scheduler_[key], stats);
+  }
+}
+
+TextTable AggregateReport::scenario_table() const {
+  return group_table("scenario", by_scenario_, totals_);
+}
+
+TextTable AggregateReport::scheduler_table() const {
+  return group_table("scheduler", by_scheduler_, totals_);
+}
+
+TextTable per_hub_table(const std::vector<HubRunResult>& results) {
+  TextTable table({"hub", "scenario", "scheduler", "seed", "profit($)", "revenue($)",
+                   "SoC first", "SoC last", "SoC mean"});
+  for (const HubRunResult& r : results) {
+    table.begin_row()
+        .add(r.hub_name)
+        .add(r.scenario)
+        .add(to_string(r.scheduler))
+        .add(std::to_string(r.seed))
+        .add_double(r.profit, 2)
+        .add_double(r.revenue, 2)
+        .add_double(r.soc.first, 3)
+        .add_double(r.soc.last, 3)
+        .add_double(r.soc.mean, 3);
+  }
+  return table;
+}
+
+}  // namespace ecthub::sim

@@ -1,0 +1,70 @@
+// AggregateReport: merges per-hub FleetRunner results into fleet-level
+// tables — per-hub detail, per-scenario aggregates, per-scheduler aggregates
+// and a grand total.  Pure aggregation: all numbers come straight from the
+// per-hub ProfitLedger totals and SoC digests, in deterministic (hub_id /
+// key-sorted) order, so the report is as reproducible as the run itself.
+#pragma once
+
+#include "common/table.hpp"
+#include "sim/fleet_runner.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecthub::sim {
+
+/// Totals over one group of hub results (a scenario, a scheduler, or all).
+struct GroupStats {
+  std::size_t hubs = 0;
+  std::size_t episodes = 0;
+  double revenue = 0.0;
+  double grid_cost = 0.0;
+  double bp_cost = 0.0;
+  double profit = 0.0;
+  double soc_mean_sum = 0.0;  ///< sum of per-hub mean SoC (for mean_soc())
+
+  void absorb(const HubRunResult& r);
+
+  [[nodiscard]] double profit_per_hub() const {
+    return hubs > 0 ? profit / static_cast<double>(hubs) : 0.0;
+  }
+  [[nodiscard]] double mean_soc() const {
+    return hubs > 0 ? soc_mean_sum / static_cast<double>(hubs) : 0.0;
+  }
+};
+
+class AggregateReport {
+ public:
+  AggregateReport() = default;
+  explicit AggregateReport(const std::vector<HubRunResult>& results);
+
+  void add(const HubRunResult& r);
+
+  /// Folds another report's groups into this one (for sharded runs).
+  void merge(const AggregateReport& other);
+
+  [[nodiscard]] const GroupStats& totals() const noexcept { return totals_; }
+  [[nodiscard]] const std::map<std::string, GroupStats>& by_scenario() const noexcept {
+    return by_scenario_;
+  }
+  [[nodiscard]] const std::map<std::string, GroupStats>& by_scheduler() const noexcept {
+    return by_scheduler_;
+  }
+
+  /// Scenario rows plus a TOTAL row.
+  [[nodiscard]] TextTable scenario_table() const;
+  /// Scheduler rows plus a TOTAL row.
+  [[nodiscard]] TextTable scheduler_table() const;
+
+ private:
+  GroupStats totals_;
+  std::map<std::string, GroupStats> by_scenario_;
+  std::map<std::string, GroupStats> by_scheduler_;
+};
+
+/// Per-hub detail table in hub_id order.
+[[nodiscard]] TextTable per_hub_table(const std::vector<HubRunResult>& results);
+
+}  // namespace ecthub::sim

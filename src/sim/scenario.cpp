@@ -1,0 +1,172 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ecthub::sim {
+
+namespace {
+
+core::HubEnvConfig month_env(std::size_t discount_start = 0, std::size_t discount_end = 0) {
+  core::HubEnvConfig env;
+  env.episode_days = 30;
+  if (discount_start != discount_end) {
+    env.discount_by_hour.assign(24, false);
+    for (std::size_t h = discount_start; h != discount_end; h = (h + 1) % 24) {
+      env.discount_by_hour[h] = true;
+    }
+  }
+  return env;
+}
+
+Scenario urban_scenario() {
+  Scenario s;
+  s.key = "urban";
+  s.summary = "dense-traffic rooftop-PV hub with evening EV discounts";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    return core::HubConfig::urban(name, seed);
+  };
+  s.env = month_env(18, 23);
+  return s;
+}
+
+Scenario rural_scenario() {
+  Scenario s;
+  s.key = "rural";
+  s.summary = "highway hub with PV + wind and sparse, price-elastic demand";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    return core::HubConfig::rural(name, seed);
+  };
+  s.env = month_env();
+  return s;
+}
+
+Scenario high_renewables_scenario() {
+  Scenario s;
+  s.key = "high-renewables";
+  s.summary = "oversized PV + WT with a large soak battery (windy site)";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    core::HubConfig cfg = core::HubConfig::rural(name, seed);
+    // Double the plant and give the pack room to soak the surplus.
+    if (cfg.plant.pv) {
+      cfg.plant.pv->area_m2 = 80.0;
+      cfg.plant.pv->rated_power_w = 16000.0;
+    }
+    if (cfg.plant.wt) cfg.plant.wt->rated_power_w = 20000.0;
+    cfg.weather.wind.mean_speed_ms = 9.5;
+    cfg.battery.capacity_kwh = 160.0;
+    cfg.battery.charge_rate_kw = 30.0;
+    cfg.battery.discharge_rate_kw = 30.0;
+    return cfg;
+  };
+  s.env = month_env();
+  return s;
+}
+
+Scenario blackout_prone_scenario() {
+  Scenario s;
+  s.key = "blackout-prone";
+  s.summary = "unreliable grid: long recovery window, cloudy skies, big reserve";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    core::HubConfig cfg = core::HubConfig::urban(name, seed);
+    // Eq. 6 reserve must cover a much longer outage, and overcast weather
+    // makes the PV contribution unreliable.
+    cfg.recovery_hours = 10.0;
+    cfg.battery.capacity_kwh = 140.0;
+    cfg.weather.solar.cloud_switch_prob = 0.15;
+    cfg.weather.solar.cloudy_transmittance = 0.25;
+    return cfg;
+  };
+  s.env = month_env();
+  return s;
+}
+
+Scenario price_spike_scenario() {
+  Scenario s;
+  s.key = "price-spike";
+  s.summary = "volatile wholesale market: frequent spikes, strong arbitrage";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    core::HubConfig cfg = core::HubConfig::urban(name, seed);
+    cfg.rtp.spike_prob = 0.06;
+    cfg.rtp.spike_scale = 150.0;
+    cfg.rtp.noise_sigma = 8.0;
+    cfg.battery.capacity_kwh = 120.0;
+    return cfg;
+  };
+  // Midday discounts pull elastic EV demand away from the spiky evening.
+  s.env = month_env(11, 15);
+  return s;
+}
+
+Scenario heatwave_scenario() {
+  Scenario s;
+  s.key = "heatwave";
+  s.summary = "hot clear spell: PV thermal derating, elevated BS load";
+  s.make_hub = [](const std::string& name, std::uint64_t seed) {
+    core::HubConfig cfg = core::HubConfig::urban(name, seed);
+    cfg.weather.mean_temperature_c = 34.0;
+    cfg.weather.diurnal_temp_swing_c = 10.0;
+    cfg.weather.solar.cloud_switch_prob = 0.03;  // clear skies
+    cfg.bs.full_power_kw = 4.5;                  // cooling overhead at full load
+    cfg.traffic.min_load = 0.12;                 // always-on streaming indoors
+    return cfg;
+  };
+  s.env = month_env(18, 23);
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry ScenarioRegistry::with_builtins() {
+  ScenarioRegistry reg;
+  reg.add(urban_scenario());
+  reg.add(rural_scenario());
+  reg.add(high_renewables_scenario());
+  reg.add(blackout_prone_scenario());
+  reg.add(price_spike_scenario());
+  reg.add(heatwave_scenario());
+  return reg;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.key.empty()) throw std::invalid_argument("ScenarioRegistry: empty key");
+  if (!scenario.make_hub) {
+    throw std::invalid_argument("ScenarioRegistry: scenario '" + scenario.key +
+                                "' has no hub factory");
+  }
+  const std::string key = scenario.key;
+  if (!scenarios_.emplace(key, std::move(scenario)).second) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate key '" + key + "'");
+  }
+}
+
+bool ScenarioRegistry::contains(const std::string& key) const {
+  return scenarios_.count(key) > 0;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& key) const {
+  const auto it = scenarios_.find(key);
+  if (it == scenarios_.end()) {
+    throw std::out_of_range("ScenarioRegistry: unknown scenario '" + key + "'");
+  }
+  return it->second;
+}
+
+core::HubConfig ScenarioRegistry::make_hub(const std::string& key,
+                                           const std::string& hub_name,
+                                           std::uint64_t seed) const {
+  return at(key).make_hub(hub_name, seed);
+}
+
+std::vector<std::string> ScenarioRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [key, scenario] : scenarios_) out.push_back(key);
+  return out;  // std::map iterates in sorted order
+}
+
+std::vector<std::string> builtin_scenario_keys() {
+  return ScenarioRegistry::with_builtins().keys();
+}
+
+}  // namespace ecthub::sim

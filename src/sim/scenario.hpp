@@ -1,0 +1,77 @@
+// Scenario registry: named, deterministic hub presets for fleet sweeps.
+//
+// A scenario bundles a HubConfig factory (composed purely from existing
+// HubConfig knobs — site, plant, prices, weather, EV behaviour) with the
+// episode shape it is evaluated under.  The registry ships six built-ins
+// spanning the operating envelope the ROADMAP targets:
+//
+//   urban            dense-traffic rooftop-PV hub (paper Fig. 6 left)
+//   rural            highway hub with PV + wind (paper Fig. 6 right)
+//   high-renewables  oversized PV + WT with a large soak battery
+//   blackout-prone   unreliable grid: long recovery window, cloudy skies
+//   price-spike      volatile wholesale market with frequent spikes
+//   heatwave         hot clear spell: PV thermal derating, high BS load
+//
+// Factories are pure functions of (hub_name, seed), so two registries — or
+// two processes — produce bit-identical hub configurations for the same
+// inputs.  This is the contract the FleetRunner determinism tests pin down.
+#pragma once
+
+#include "core/hub_config.hpp"
+#include "core/hub_env.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecthub::sim {
+
+/// Builds the HubConfig of one hub instance belonging to the scenario.
+using HubFactory =
+    std::function<core::HubConfig(const std::string& hub_name, std::uint64_t seed)>;
+
+struct Scenario {
+  std::string key;      ///< registry lookup key, e.g. "urban"
+  std::string summary;  ///< one-line description for listings
+  HubFactory make_hub;
+  /// Episode shape (horizon, discount schedule) the scenario is swept under.
+  core::HubEnvConfig env;
+};
+
+/// Immutable-after-setup map of named scenarios.
+class ScenarioRegistry {
+ public:
+  /// Empty registry; use with_builtins() for the standard six.
+  ScenarioRegistry() = default;
+
+  /// Registry preloaded with the six built-in presets.
+  [[nodiscard]] static ScenarioRegistry with_builtins();
+
+  /// Registers a scenario.  Throws std::invalid_argument on an empty key, a
+  /// missing factory, or a duplicate key.
+  void add(Scenario scenario);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Throws std::out_of_range (with the offending key) when absent.
+  [[nodiscard]] const Scenario& at(const std::string& key) const;
+
+  /// Convenience: look up `key` and build one hub from it.
+  [[nodiscard]] core::HubConfig make_hub(const std::string& key,
+                                         const std::string& hub_name,
+                                         std::uint64_t seed) const;
+
+  /// Keys in sorted order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Keys of the built-in presets, sorted (what with_builtins() registers).
+[[nodiscard]] std::vector<std::string> builtin_scenario_keys();
+
+}  // namespace ecthub::sim

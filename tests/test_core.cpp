@@ -259,6 +259,149 @@ TEST(EctHubEnv, ConfigValidation) {
   EXPECT_THROW(EctHubEnv(HubConfig::urban("t", 13), bad4), std::invalid_argument);
 }
 
+// ------------------------------------------------------- determinism (golden)
+
+// Golden values generated from the pinned episode generator (urban hub,
+// seed 4242, 3-day episode).  If any of these change, episode generation has
+// drifted: every stored scenario, fleet comparison and figure changes with
+// it.  Regenerate deliberately (print the series at %.17g) or fix the drift.
+TEST(EctHubEnvGolden, FixedSeedPinsEpisodeSeries) {
+  HubEnvConfig cfg;
+  cfg.episode_days = 3;
+  EctHubEnv env(HubConfig::urban("golden", 4242), cfg);
+  env.reset();
+  ASSERT_EQ(env.slots_per_episode(), 72u);
+
+  double rtp_sum = 0.0;
+  for (std::size_t t = 0; t < 72; ++t) rtp_sum += env.rtp_at(t);
+  EXPECT_DOUBLE_EQ(env.rtp_at(0), 73.523843581901588);
+  EXPECT_DOUBLE_EQ(env.rtp_at(71), 92.379437347852715);
+  EXPECT_DOUBLE_EQ(rtp_sum, 6490.3151203255802);
+
+  const auto& renew = env.renewable_series();
+  ASSERT_EQ(renew.size(), 72u);
+  double renew_sum = 0.0;
+  for (const double r : renew) renew_sum += r;
+  EXPECT_DOUBLE_EQ(renew.front(), 0.0);  // midnight: no PV
+  EXPECT_DOUBLE_EQ(renew[12], 2.1879144406926456);
+  EXPECT_DOUBLE_EQ(renew_sum, 52.532058697937451);
+
+  const auto& bs = env.bs_power_series();
+  ASSERT_EQ(bs.size(), 72u);
+  double bs_sum = 0.0;
+  for (const double b : bs) bs_sum += b;
+  EXPECT_DOUBLE_EQ(bs.front(), 1.5191806369449494);
+  EXPECT_DOUBLE_EQ(bs.back(), 1.6696044809281072);
+  EXPECT_DOUBLE_EQ(bs_sum, 157.96698188832352);
+
+  EXPECT_DOUBLE_EQ(env.soc_frac(), 0.61776257063720164);
+}
+
+TEST(EctHubEnvGolden, TwoEnvsSameSeedProduceIdenticalEpisodes) {
+  HubEnvConfig cfg;
+  cfg.episode_days = 2;
+  const HubConfig hub = HubConfig::rural("twin", 777);
+  EctHubEnv a(hub, cfg);
+  EctHubEnv b(hub, cfg);
+  const auto sa = a.reset();
+  const auto sb = b.reset();
+  EXPECT_EQ(sa, sb);
+  for (std::size_t t = 0; t < a.slots_per_episode(); ++t) {
+    ASSERT_EQ(a.rtp_at(t), b.rtp_at(t)) << "slot " << t;
+    ASSERT_EQ(a.srtp_at(t), b.srtp_at(t)) << "slot " << t;
+  }
+  EXPECT_EQ(a.renewable_series(), b.renewable_series());
+  EXPECT_EQ(a.bs_power_series(), b.bs_power_series());
+  EXPECT_EQ(a.cs_power_series(), b.cs_power_series());
+  EXPECT_EQ(a.soc_frac(), b.soc_frac());
+}
+
+TEST(EctHubEnvGolden, SuccessiveResetsDrawFreshEpisodes) {
+  // Buffer reuse across resets must not replay the previous episode.
+  HubEnvConfig cfg;
+  cfg.episode_days = 2;
+  EctHubEnv env(HubConfig::urban("fresh", 31), cfg);
+  env.reset();
+  const double first_rtp0 = env.rtp_at(0);
+  env.reset();
+  EXPECT_NE(env.rtp_at(0), first_rtp0);
+}
+
+// ---------------------------------------------------------------- edge cases
+
+TEST(EctHubEnv, EmptyDiscountScheduleMatchesAllFalse) {
+  // An empty discount_by_hour means "no discounts" and must behave exactly
+  // like an explicit all-false 24-entry schedule.
+  const HubConfig hub = HubConfig::urban("nodisc", 55);
+  HubEnvConfig empty_cfg = small_env(2);
+  HubEnvConfig false_cfg = small_env(2);
+  false_cfg.discount_by_hour.assign(24, false);
+  EctHubEnv env_empty(hub, empty_cfg);
+  EctHubEnv env_false(hub, false_cfg);
+  env_empty.reset();
+  env_false.reset();
+  for (std::size_t t = 0; t < env_empty.slots_per_episode(); ++t) {
+    ASSERT_EQ(env_empty.srtp_at(t), env_false.srtp_at(t)) << "slot " << t;
+  }
+  EXPECT_EQ(env_empty.cs_power_series(), env_false.cs_power_series());
+  EXPECT_NO_THROW(env_empty.step(1));
+}
+
+TEST(EctHubEnv, SchedulersRunOnEmptyDiscountEnv) {
+  EctHubEnv env(HubConfig::rural("nodisc", 56), small_env(2));
+  TouScheduler tou;
+  GreedyPriceScheduler greedy;
+  ForecastScheduler forecast;
+  for (Scheduler* sched : {static_cast<Scheduler*>(&tou), static_cast<Scheduler*>(&greedy),
+                           static_cast<Scheduler*>(&forecast)}) {
+    const auto profits = run_scheduler(env, *sched, 1);
+    ASSERT_EQ(profits.size(), 1u);
+    EXPECT_TRUE(std::isfinite(profits[0])) << sched->name();
+  }
+}
+
+TEST(EctHubEnv, ZeroCapacityBatteryThrowsAtConstruction) {
+  HubConfig hub = HubConfig::urban("dead-batt", 57);
+  hub.battery.capacity_kwh = 0.0;
+  EXPECT_THROW(EctHubEnv(hub, small_env()), std::invalid_argument);
+  hub.battery.capacity_kwh = -5.0;
+  EXPECT_THROW(EctHubEnv(hub, small_env()), std::invalid_argument);
+}
+
+TEST(EctHubEnv, NegativeRecoveryHoursThrowsAtConstruction) {
+  HubConfig hub = HubConfig::urban("bad-recovery", 58);
+  hub.recovery_hours = -1.0;
+  EXPECT_THROW(EctHubEnv(hub, small_env()), std::invalid_argument);
+}
+
+TEST(EctHubEnv, StepPastEpisodeEndThrows) {
+  EctHubEnv env(HubConfig::urban("overrun", 59), small_env(1));
+  env.reset();
+  bool done = false;
+  while (!done) done = env.step(0).done;
+  EXPECT_THROW(env.step(0), std::logic_error);
+  // A reset re-arms the episode.
+  env.reset();
+  EXPECT_NO_THROW(env.step(0));
+}
+
+TEST(Profit, LedgerResetClearsTotalsAndDays) {
+  ProfitLedger ledger(2);
+  SlotEconomics e;
+  e.revenue = 3.0;
+  ledger.record(e);
+  ledger.record(e);
+  ledger.reset();
+  EXPECT_EQ(ledger.slots_recorded(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.total_profit(), 0.0);
+  EXPECT_TRUE(ledger.daily_profit().empty());
+  // Still aggregates with the original day length after reset.
+  ledger.record(e);
+  ledger.record(e);
+  ledger.record(e);
+  EXPECT_EQ(ledger.daily_profit().size(), 2u);
+}
+
 // ---------------------------------------------------------------- schedulers
 
 TEST(Schedulers, NoBatteryAlwaysIdles) {

@@ -1,0 +1,288 @@
+// Tests for the multi-hub simulation engine: the scenario registry, the
+// deterministic per-hub seeding, the parallel fleet runner (the bit-identity
+// contract every future sharding/batching PR depends on), and the aggregate
+// report arithmetic.
+#include "sim/fleet_runner.hpp"
+#include "sim/report.hpp"
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecthub::sim {
+namespace {
+
+// Builds `n` small jobs cycling through the built-in scenarios.
+std::vector<FleetJob> make_jobs(std::size_t n, std::size_t days = 2,
+                                SchedulerKind sched = SchedulerKind::kGreedyPrice) {
+  const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
+  return make_fleet_jobs(registry, registry.keys(), n, days, sched);
+}
+
+std::vector<HubRunResult> run_fleet(const std::vector<FleetJob>& jobs, std::size_t threads,
+                                    std::uint64_t base_seed = 7,
+                                    std::size_t episodes = 1) {
+  FleetRunnerConfig cfg;
+  cfg.base_seed = base_seed;
+  cfg.threads = threads;
+  cfg.episodes_per_hub = episodes;
+  return FleetRunner(cfg).run(jobs);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(ScenarioRegistry, HasAllSixBuiltins) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  EXPECT_EQ(reg.size(), 6u);
+  for (const char* key : {"urban", "rural", "high-renewables", "blackout-prone",
+                          "price-spike", "heatwave"}) {
+    EXPECT_TRUE(reg.contains(key)) << key;
+    EXPECT_FALSE(reg.at(key).summary.empty());
+  }
+  EXPECT_EQ(reg.keys(), builtin_scenario_keys());
+}
+
+TEST(ScenarioRegistry, UnknownKeyThrows) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  EXPECT_FALSE(reg.contains("atlantis"));
+  EXPECT_THROW((void)reg.at("atlantis"), std::out_of_range);
+  EXPECT_THROW((void)reg.make_hub("atlantis", "h", 1), std::out_of_range);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndBadScenarios) {
+  ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  Scenario dup;
+  dup.key = "urban";
+  dup.make_hub = [](const std::string& name, std::uint64_t seed) {
+    return core::HubConfig::urban(name, seed);
+  };
+  EXPECT_THROW(reg.add(dup), std::invalid_argument);
+  Scenario unnamed;
+  unnamed.make_hub = dup.make_hub;
+  EXPECT_THROW(reg.add(unnamed), std::invalid_argument);
+  Scenario no_factory;
+  no_factory.key = "ghost";
+  EXPECT_THROW(reg.add(no_factory), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, FactoriesAreDeterministic) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  for (const std::string& key : reg.keys()) {
+    const core::HubConfig a = reg.make_hub(key, "h", 123);
+    const core::HubConfig b = reg.make_hub(key, "h", 123);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.battery.capacity_kwh, b.battery.capacity_kwh);
+    EXPECT_EQ(a.rtp.spike_prob, b.rtp.spike_prob);
+    EXPECT_EQ(a.recovery_hours, b.recovery_hours);
+  }
+}
+
+TEST(ScenarioRegistry, PresetsDifferWhereItMatters) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  EXPECT_GT(reg.make_hub("price-spike", "h", 1).rtp.spike_prob,
+            reg.make_hub("urban", "h", 1).rtp.spike_prob);
+  EXPECT_GT(reg.make_hub("blackout-prone", "h", 1).recovery_hours,
+            reg.make_hub("urban", "h", 1).recovery_hours);
+  EXPECT_GT(reg.make_hub("heatwave", "h", 1).weather.mean_temperature_c,
+            reg.make_hub("urban", "h", 1).weather.mean_temperature_c);
+  EXPECT_GT(reg.make_hub("high-renewables", "h", 1).battery.capacity_kwh,
+            reg.make_hub("rural", "h", 1).battery.capacity_kwh);
+}
+
+// ------------------------------------------------------------ seeding
+
+TEST(MixSeed, DistinctAcrossHubsAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 1000; ++id) seen.insert(mix_seed(7, id));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across the fleet
+  EXPECT_NE(mix_seed(7, 0), mix_seed(8, 0));
+  EXPECT_EQ(mix_seed(7, 3), mix_seed(7, 3));
+}
+
+// ------------------------------------------------------------ schedulers
+
+TEST(SchedulerFactory, NamesRoundTrip) {
+  for (const auto kind :
+       {SchedulerKind::kNoBattery, SchedulerKind::kTou, SchedulerKind::kGreedyPrice,
+        SchedulerKind::kForecast, SchedulerKind::kRandom}) {
+    EXPECT_EQ(scheduler_kind_from_string(to_string(kind)), kind);
+    const auto sched = make_scheduler(kind, 42);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_FALSE(sched->name().empty());
+  }
+  EXPECT_THROW((void)scheduler_kind_from_string("ppo2"), std::invalid_argument);
+}
+
+TEST(FleetJobs, MakeFleetJobsCyclesScenarios) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto jobs = make_fleet_jobs(reg, {"urban", "rural"}, 5, 3, SchedulerKind::kTou);
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].scenario, "urban");
+  EXPECT_EQ(jobs[1].scenario, "rural");
+  EXPECT_EQ(jobs[4].scenario, "urban");
+  EXPECT_EQ(jobs[2].env.episode_days, 3u);
+  EXPECT_EQ(jobs[3].hub.name, "rural-3");
+  EXPECT_EQ(jobs[3].scheduler, SchedulerKind::kTou);
+  EXPECT_THROW((void)make_fleet_jobs(reg, {}, 2, 3, SchedulerKind::kTou),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_fleet_jobs(reg, {"atlantis"}, 1, 3, SchedulerKind::kTou),
+               std::out_of_range);
+}
+
+// ------------------------------------------------------------ fleet runner
+
+TEST(FleetRunner, ParallelRunIsBitIdenticalToSerial) {
+  // The acceptance criterion: 32 hubs, 8 threads vs 1 thread, every per-hub
+  // ledger total equal to the last bit.
+  const std::vector<FleetJob> jobs = make_jobs(32);
+  const auto serial = run_fleet(jobs, 1);
+  const auto parallel = run_fleet(jobs, 8);
+  ASSERT_EQ(serial.size(), 32u);
+  ASSERT_EQ(parallel.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(serial[i].hub_id, i);
+    EXPECT_EQ(parallel[i].seed, serial[i].seed);
+    EXPECT_EQ(parallel[i].profit, serial[i].profit) << "hub " << i;
+    EXPECT_EQ(parallel[i].revenue, serial[i].revenue) << "hub " << i;
+    EXPECT_EQ(parallel[i].grid_cost, serial[i].grid_cost) << "hub " << i;
+    EXPECT_EQ(parallel[i].bp_cost, serial[i].bp_cost) << "hub " << i;
+    EXPECT_EQ(parallel[i].soc.checksum, serial[i].soc.checksum) << "hub " << i;
+    EXPECT_EQ(parallel[i].episode_profit, serial[i].episode_profit) << "hub " << i;
+  }
+}
+
+TEST(FleetRunner, RerunWithSameBaseSeedReproducesExactly) {
+  // Same base seed, different thread counts, repeated runs: identical.
+  const std::vector<FleetJob> jobs = make_jobs(32);
+  const auto first = run_fleet(jobs, 8);
+  const auto again = run_fleet(jobs, 8);
+  const auto odd_threads = run_fleet(jobs, 3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(first[i].profit, again[i].profit) << "hub " << i;
+    EXPECT_EQ(first[i].profit, odd_threads[i].profit) << "hub " << i;
+    EXPECT_EQ(first[i].soc.checksum, again[i].soc.checksum) << "hub " << i;
+    EXPECT_EQ(first[i].soc.checksum, odd_threads[i].soc.checksum) << "hub " << i;
+  }
+}
+
+TEST(FleetRunner, BaseSeedChangesResults) {
+  const std::vector<FleetJob> jobs = make_jobs(4);
+  const auto a = run_fleet(jobs, 2, 7);
+  const auto b = run_fleet(jobs, 2, 8);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NE(a[i].seed, b[i].seed);
+    if (a[i].profit != b[i].profit) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FleetRunner, HubsHaveIndependentStreams) {
+  // Two replicas of the same scenario must see different stochastic draws
+  // (distinct mixed seeds), not a shared or duplicated stream.
+  std::vector<FleetJob> jobs = make_jobs(2);
+  jobs[1] = jobs[0];
+  const auto results = run_fleet(jobs, 2);
+  EXPECT_NE(results[0].seed, results[1].seed);
+  EXPECT_NE(results[0].profit, results[1].profit);
+}
+
+TEST(FleetRunner, MultiEpisodeAccounting) {
+  const std::vector<FleetJob> jobs = make_jobs(2);
+  const auto results = run_fleet(jobs, 2, 7, 3);
+  for (const HubRunResult& r : results) {
+    EXPECT_EQ(r.episodes, 3u);
+    ASSERT_EQ(r.episode_profit.size(), 3u);
+    double sum = 0.0;
+    for (const double p : r.episode_profit) sum += p;
+    EXPECT_DOUBLE_EQ(sum, r.profit);
+    EXPECT_EQ(r.soc.samples, r.slots_per_episode);
+    EXPECT_GE(r.soc.min, 0.0);
+    EXPECT_LE(r.soc.max, 1.0);
+    EXPECT_GE(r.soc.mean, r.soc.min);
+    EXPECT_LE(r.soc.mean, r.soc.max);
+  }
+}
+
+TEST(FleetRunner, EmptyJobListAndBadConfig) {
+  FleetRunnerConfig cfg;
+  EXPECT_TRUE(FleetRunner(cfg).run({}).empty());
+  cfg.episodes_per_hub = 0;
+  EXPECT_THROW(FleetRunner{cfg}, std::invalid_argument);
+}
+
+TEST(FleetRunner, WorkerExceptionsPropagate) {
+  // A zero-capacity battery makes EctHubEnv construction throw inside the
+  // worker; the runner must surface it, not deadlock or crash.
+  std::vector<FleetJob> jobs = make_jobs(4);
+  jobs[2].hub.battery.capacity_kwh = 0.0;
+  FleetRunnerConfig cfg;
+  cfg.threads = 2;
+  EXPECT_THROW((void)FleetRunner(cfg).run(jobs), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ report
+
+HubRunResult fake_result(std::size_t id, const std::string& scenario, double profit,
+                         SchedulerKind sched = SchedulerKind::kTou) {
+  HubRunResult r;
+  r.hub_id = id;
+  r.hub_name = scenario + "-" + std::to_string(id);
+  r.scenario = scenario;
+  r.scheduler = sched;
+  r.episodes = 1;
+  r.revenue = profit + 10.0;
+  r.grid_cost = 8.0;
+  r.bp_cost = 2.0;
+  r.profit = profit;
+  r.soc.mean = 0.5;
+  return r;
+}
+
+TEST(AggregateReport, GroupsByScenarioAndScheduler) {
+  const std::vector<HubRunResult> results = {
+      fake_result(0, "urban", 4.0, SchedulerKind::kTou),
+      fake_result(1, "urban", 6.0, SchedulerKind::kForecast),
+      fake_result(2, "rural", 1.0, SchedulerKind::kTou),
+  };
+  const AggregateReport report(results);
+  EXPECT_EQ(report.totals().hubs, 3u);
+  EXPECT_DOUBLE_EQ(report.totals().profit, 11.0);
+  ASSERT_EQ(report.by_scenario().size(), 2u);
+  EXPECT_DOUBLE_EQ(report.by_scenario().at("urban").profit, 10.0);
+  EXPECT_DOUBLE_EQ(report.by_scenario().at("urban").profit_per_hub(), 5.0);
+  EXPECT_DOUBLE_EQ(report.by_scenario().at("rural").profit, 1.0);
+  ASSERT_EQ(report.by_scheduler().size(), 2u);
+  EXPECT_EQ(report.by_scheduler().at("tou").hubs, 2u);
+  EXPECT_DOUBLE_EQ(report.totals().mean_soc(), 0.5);
+}
+
+TEST(AggregateReport, MergeFoldsShards) {
+  AggregateReport a({fake_result(0, "urban", 4.0)});
+  const AggregateReport b({fake_result(1, "urban", 6.0), fake_result(2, "rural", 1.0)});
+  a.merge(b);
+  EXPECT_EQ(a.totals().hubs, 3u);
+  EXPECT_DOUBLE_EQ(a.totals().profit, 11.0);
+  EXPECT_DOUBLE_EQ(a.by_scenario().at("urban").profit, 10.0);
+  EXPECT_EQ(a.by_scenario().at("rural").hubs, 1u);
+}
+
+TEST(AggregateReport, TablesRenderOneRowPerGroupPlusTotal) {
+  const std::vector<HubRunResult> results = {
+      fake_result(0, "urban", 4.0),
+      fake_result(1, "rural", 1.0),
+  };
+  const AggregateReport report(results);
+  EXPECT_EQ(report.scenario_table().num_rows(), 3u);   // 2 scenarios + TOTAL
+  EXPECT_EQ(report.scheduler_table().num_rows(), 2u);  // 1 scheduler + TOTAL
+  EXPECT_EQ(per_hub_table(results).num_rows(), 2u);
+  EXPECT_FALSE(report.scenario_table().str().empty());
+}
+
+}  // namespace
+}  // namespace ecthub::sim
