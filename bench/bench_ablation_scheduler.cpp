@@ -7,16 +7,17 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
-#include "core/schedulers.hpp"
+#include "core/policy_runner.hpp"
+#include "policy/rule_policies.hpp"
 
 #include <iostream>
 #include <memory>
 
 namespace {
 
-double mean_profit(ecthub::core::EctHubEnv& env, ecthub::core::Scheduler& sched,
+double mean_profit(ecthub::core::EctHubEnv& env, ecthub::policy::Policy& pol,
                    std::size_t episodes) {
-  return ecthub::stats::mean(ecthub::core::run_scheduler(env, sched, episodes));
+  return ecthub::stats::mean(ecthub::core::run_policy(env, pol, episodes));
 }
 
 }  // namespace
@@ -40,15 +41,15 @@ int main(int argc, char** argv) {
   // --- 1. Scheduler comparison -------------------------------------------
   std::cout << "--- Scheduler comparison (mean episode profit, $/episode) ---\n";
   TextTable sched_table({"Scheduler", "mean profit", "stddev"});
-  std::vector<std::unique_ptr<core::Scheduler>> schedulers;
-  schedulers.push_back(std::make_unique<core::NoBatteryScheduler>());
-  schedulers.push_back(std::make_unique<core::TouScheduler>());
-  schedulers.push_back(std::make_unique<core::GreedyPriceScheduler>());
-  schedulers.push_back(std::make_unique<core::ForecastScheduler>());
-  schedulers.push_back(std::make_unique<core::RandomScheduler>(3));
-  for (auto& s : schedulers) {
+  std::vector<std::unique_ptr<policy::Policy>> policies;
+  policies.push_back(std::make_unique<policy::NoBatteryPolicy>());
+  policies.push_back(std::make_unique<policy::TouPolicy>());
+  policies.push_back(std::make_unique<policy::GreedyPricePolicy>());
+  policies.push_back(std::make_unique<policy::ForecastPolicy>());
+  policies.push_back(std::make_unique<policy::RandomPolicy>(3));
+  for (auto& s : policies) {
     core::EctHubEnv env(hub, env_cfg);
-    const auto profits = core::run_scheduler(env, *s, episodes);
+    const auto profits = core::run_policy(env, *s, episodes);
     sched_table.begin_row()
         .add(s->name())
         .add_double(stats::mean(profits), 2)
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
     core::HubConfig h = hub;
     h.plant = plant;
     core::EctHubEnv env(h, env_cfg);
-    core::GreedyPriceScheduler greedy;
+    policy::GreedyPricePolicy greedy;
     ren_table.begin_row().add(label).add_double(mean_profit(env, greedy, episodes), 2);
   }
   ren_table.print(std::cout);
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
     core::HubConfig h = hub;
     h.recovery_hours = tr;
     core::EctHubEnv env(h, env_cfg);
-    core::GreedyPriceScheduler greedy;
+    policy::GreedyPricePolicy greedy;
     res_table.begin_row()
         .add(std::to_string(static_cast<int>(tr)) + " h")
         .add_double(mean_profit(env, greedy, episodes), 2);

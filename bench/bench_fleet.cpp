@@ -1,14 +1,24 @@
-// Fleet-engine benchmark: multi-hub throughput vs thread count.
+// Fleet-engine benchmark: multi-hub throughput vs thread count, plus the
+// batched-inference payoff of the unified Policy API.
 //
-// Runs the same N-hub fleet (cycling through the built-in scenarios) at each
-// requested thread count, reports wall time / throughput / speedup, and
-// cross-checks that every thread count reproduces the 1-thread per-hub
+// Part 1 runs the same N-hub fleet (cycling through the built-in scenarios)
+// at each requested thread count, reports wall time / throughput / speedup,
+// and cross-checks that every thread count reproduces the 1-thread per-hub
 // profits bit for bit — the determinism contract of the FleetRunner.
+//
+// Part 2 measures ECT-DRL fleet inference two ways: per-hub execution (one
+// matrix-vector actor forward per hub per slot) against lockstep execution
+// (one matrix-matrix forward across all hubs per slot), both end-to-end and
+// as a pure-inference microbenchmark, again cross-checking bit-identity.
 //
 //   $ ./bench_fleet [--hubs 32] [--days 4] [--episodes 1]
 //                   [--threads-list 1,2,4,8] [--base-seed 7]
+//                   [--drl-iters 3] [--inference-reps 200]
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/fleet.hpp"
+#include "policy/drl_policy.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/scenario.hpp"
 
@@ -16,6 +26,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +42,23 @@ std::vector<std::size_t> parse_thread_list(const std::string& csv) {
     if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoul(item)));
   }
   return out;
+}
+
+double now_ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool results_identical(const std::vector<ecthub::sim::HubRunResult>& a,
+                       const std::vector<ecthub::sim::HubRunResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].profit != b[i].profit || a[i].revenue != b[i].revenue ||
+        a[i].soc.checksum != b[i].soc.checksum) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -48,6 +77,8 @@ int main(int argc, char** argv) {
   const std::size_t hubs = require_positive("hubs", 32);
   const std::size_t days = require_positive("days", 4);
   const std::size_t episodes = require_positive("episodes", 1);
+  const std::size_t drl_iters = require_positive("drl-iters", 3);
+  const std::size_t inference_reps = require_positive("inference-reps", 200);
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
   const std::vector<std::size_t> thread_list =
       parse_thread_list(flags.get_string("threads-list", "1,2,4,8"));
@@ -60,34 +91,29 @@ int main(int argc, char** argv) {
   std::cout << "=== Fleet throughput: " << hubs << " hubs x " << slots
             << " slots, base seed " << base_seed << " ===\n";
 
-  const auto timed_run = [&](std::size_t threads, std::vector<sim::HubRunResult>& out) {
+  const auto timed_run = [&](const std::vector<sim::FleetJob>& fleet_jobs,
+                             std::size_t threads, bool lockstep,
+                             std::vector<sim::HubRunResult>& out) {
     sim::FleetRunnerConfig cfg;
     cfg.base_seed = base_seed;
     cfg.threads = threads;
     cfg.episodes_per_hub = episodes;
     const sim::FleetRunner runner(cfg);
     const auto start = std::chrono::steady_clock::now();
-    out = runner.run(jobs);
-    const auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double, std::milli>(end - start).count();
+    out = lockstep ? runner.run_lockstep(fleet_jobs) : runner.run(fleet_jobs);
+    return now_ms_since(start);
   };
 
   // The reference is always an explicit 1-thread run — every entry of
   // --threads-list is checked against it, whatever order it lists.
   std::vector<sim::HubRunResult> reference;
-  const double serial_ms = timed_run(1, reference);
+  const double serial_ms = timed_run(jobs, 1, false, reference);
 
   TextTable table({"threads", "wall ms", "hubs/s", "kslots/s", "speedup", "bit-identical"});
   for (const std::size_t threads : thread_list) {
     std::vector<sim::HubRunResult> results;
-    const double ms = timed_run(threads, results);
-
-    bool identical = results.size() == reference.size();
-    for (std::size_t i = 0; identical && i < results.size(); ++i) {
-      identical = results[i].profit == reference[i].profit &&
-                  results[i].revenue == reference[i].revenue &&
-                  results[i].soc.checksum == reference[i].soc.checksum;
-    }
+    const double ms = timed_run(jobs, threads, false, results);
+    const bool identical = results_identical(results, reference);
     table.begin_row()
         .add_int(static_cast<long long>(threads))
         .add_double(ms, 1)
@@ -102,5 +128,90 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+
+  // --- Part 2: ECT-DRL fleet — per-hub matrix-vector vs lockstep GEMM -----
+  std::cout << "\n=== ECT-DRL inference: per-hub (matrix-vector) vs lockstep "
+               "(matrix-matrix) ===\n";
+  std::cout << "training actor: " << drl_iters << " PPO iteration(s)...\n";
+  core::DrlFleetTrainConfig train_cfg;
+  train_cfg.env = registry.at("urban").env;
+  train_cfg.env.episode_days = days;
+  train_cfg.iterations = drl_iters;
+  train_cfg.seed = sim::mix_seed(base_seed, 0x5eedULL);
+  const auto checkpoint = std::make_shared<policy::DrlCheckpoint>(core::train_drl_checkpoint(
+      registry.make_hub("urban", "drl-train", train_cfg.seed), train_cfg));
+
+  const std::vector<sim::FleetJob> drl_jobs = sim::make_fleet_jobs(
+      registry, registry.keys(), hubs, days, sim::SchedulerKind::kDrl, checkpoint);
+
+  std::vector<sim::HubRunResult> per_hub, lockstep;
+  const double per_hub_ms = timed_run(drl_jobs, 1, false, per_hub);
+  const double lockstep_ms = timed_run(drl_jobs, 1, true, lockstep);
+  const bool drl_identical = results_identical(per_hub, lockstep);
+
+  TextTable drl_table({"mode", "wall ms", "kslots/s", "speedup", "bit-identical"});
+  drl_table.begin_row()
+      .add("per-hub serial")
+      .add_double(per_hub_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / per_hub_ms, 1)
+      .add_double(1.0, 2)
+      .add("reference");
+  drl_table.begin_row()
+      .add("lockstep batched")
+      .add_double(lockstep_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / lockstep_ms, 1)
+      .add_double(per_hub_ms / lockstep_ms, 2)
+      .add(drl_identical ? "yes" : "NO");
+  drl_table.print(std::cout);
+  if (!drl_identical) {
+    std::cerr << "DETERMINISM VIOLATION: lockstep DRL differs from per-hub\n";
+    return 1;
+  }
+
+  // Pure-inference microbenchmark: the same decisions with the env stepping
+  // cost stripped away — the raw matrix-vector vs matrix-matrix gap.
+  {
+    policy::DrlPolicy actor(*checkpoint);
+    const std::size_t dim = checkpoint->config.state_dim;
+    nn::Matrix obs(hubs, dim);
+    Rng rng(base_seed);
+    for (double& x : obs.data()) x = rng.uniform(0.0, 1.5);
+    std::vector<std::size_t> scalar_actions(hubs), batch_actions(hubs);
+
+    const auto scalar_start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < inference_reps; ++rep) {
+      const double* data = obs.data().data();
+      for (std::size_t i = 0; i < hubs; ++i) {
+        scalar_actions[i] = actor.decide(std::span<const double>(data + i * dim, dim));
+      }
+    }
+    const double scalar_ms = now_ms_since(scalar_start);
+
+    const auto batch_start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < inference_reps; ++rep) {
+      actor.decide_batch(obs, std::span<std::size_t>(batch_actions));
+    }
+    const double batch_ms = now_ms_since(batch_start);
+
+    if (scalar_actions != batch_actions) {
+      std::cerr << "DETERMINISM VIOLATION: decide_batch differs from decide\n";
+      return 1;
+    }
+    const double decisions = static_cast<double>(hubs * inference_reps);
+    TextTable micro({"forward", "wall ms", "Mdecisions/s", "speedup"});
+    micro.begin_row()
+        .add("matrix-vector x hubs")
+        .add_double(scalar_ms, 1)
+        .add_double(decisions / scalar_ms / 1000.0, 3)
+        .add_double(1.0, 2);
+    micro.begin_row()
+        .add("matrix-matrix batch")
+        .add_double(batch_ms, 1)
+        .add_double(decisions / batch_ms / 1000.0, 3)
+        .add_double(scalar_ms / batch_ms, 2);
+    std::cout << "\n--- Pure inference, " << hubs << " hubs x " << inference_reps
+              << " reps ---\n";
+    micro.print(std::cout);
+  }
   return 0;
 }

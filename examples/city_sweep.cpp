@@ -1,16 +1,27 @@
 // City sweep: the multi-hub simulation engine end to end.
 //
 // Instantiates a fleet of hubs across the registered scenarios (all six
-// built-ins by default), runs every hub's episodes across a thread pool with
-// per-hub deterministic seeding, and prints the per-hub detail plus the
+// built-ins by default), runs every hub's episodes with per-hub
+// deterministic seeding, and prints the per-hub detail plus the
 // per-scenario and per-scheduler aggregate tables.
+//
+// Any scheduler kind can drive the fleet, including the trained ECT-DRL
+// actor: with --scheduler drl (or all) a small PPO run trains in process —
+// or a checkpoint loads from disk — and the fleet deploys that one actor
+// across every hub.  --scheduler all sweeps every kind over the *same*
+// hubs and seeds, so the per-scheduler table is a fair Table III-style
+// comparison; --lockstep switches to slot-synchronous execution with one
+// batched policy call per fleet slot.
 //
 //   $ ./city_sweep                                  # 6 scenarios x 2 hubs
 //   $ ./city_sweep --hubs-per-scenario 8 --threads 8 --scheduler forecast
 //   $ ./city_sweep --scenarios urban,price-spike --days 7 --episodes 2
+//   $ ./city_sweep --scheduler all --lockstep       # 5 heuristics + ECT-DRL
+//   $ ./city_sweep --scheduler drl --drl-checkpoint actor.ckpt --drl-iters 8
 //   $ ./city_sweep --list                           # show the registry
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/fleet.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
@@ -18,7 +29,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +47,45 @@ std::vector<std::string> split_csv(const std::string& csv) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// Loads the checkpoint from `path` when it exists; otherwise trains a fresh
+// actor on the first scenario's hub and (when a path was given) saves it.
+std::shared_ptr<const ecthub::policy::DrlCheckpoint> obtain_drl_checkpoint(
+    const ecthub::sim::ScenarioRegistry& registry, const std::string& scenario_key,
+    std::size_t days, std::size_t iterations, std::uint64_t base_seed,
+    const std::string& path) {
+  using namespace ecthub;
+  if (!path.empty()) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::cout << "loading ECT-DRL checkpoint from " << path << "\n";
+      return std::make_shared<policy::DrlCheckpoint>(policy::DrlCheckpoint::load(in));
+    }
+  }
+  const sim::Scenario& scenario = registry.at(scenario_key);
+  core::DrlFleetTrainConfig train_cfg;
+  train_cfg.env = scenario.env;
+  train_cfg.env.episode_days = days;
+  train_cfg.iterations = iterations;
+  train_cfg.seed = sim::mix_seed(base_seed, 0x5eedULL);
+  const core::HubConfig train_hub =
+      scenario.make_hub(scenario_key + "-drl-train", train_cfg.seed);
+  std::cout << "training ECT-DRL in process: " << iterations << " PPO iteration(s) on '"
+            << scenario_key << "' (" << days << " day episodes)...\n";
+  auto ckpt = std::make_shared<policy::DrlCheckpoint>(
+      core::train_drl_checkpoint(train_hub, train_cfg));
+  if (!path.empty()) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "city_sweep: cannot write --drl-checkpoint '" << path
+                << "'; continuing without saving\n";
+    } else {
+      ckpt->save(out);
+      std::cout << "saved checkpoint to " << path << "\n";
+    }
+  }
+  return ckpt;
 }
 
 }  // namespace
@@ -62,11 +115,19 @@ int main(int argc, char** argv) {
   const std::size_t hubs_per_scenario = require_positive("hubs-per-scenario", 2);
   const std::size_t days = require_positive("days", 7);
   const std::size_t episodes = require_positive("episodes", 1);
+  const std::size_t drl_iters = require_positive("drl-iters", 4);
   const auto threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("threads", 0)));  // 0 = hardware concurrency
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
-  const sim::SchedulerKind scheduler =
-      sim::scheduler_kind_from_string(flags.get_string("scheduler", "tou"));
+  const bool lockstep = flags.get_bool("lockstep");
+
+  const std::string scheduler_arg = flags.get_string("scheduler", "tou");
+  std::vector<sim::SchedulerKind> kinds;
+  if (scheduler_arg == "all") {
+    kinds = sim::all_scheduler_kinds();
+  } else {
+    kinds.push_back(sim::scheduler_kind_from_string(scheduler_arg));
+  }
 
   std::vector<std::string> scenario_keys = registry.keys();
   if (flags.has("scenarios")) scenario_keys = split_csv(flags.get_string("scenarios", ""));
@@ -75,16 +136,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The trained actor deployed fleet-wide whenever a kDrl sweep runs.
+  std::shared_ptr<const policy::DrlCheckpoint> checkpoint;
+  if (std::find(kinds.begin(), kinds.end(), sim::SchedulerKind::kDrl) != kinds.end()) {
+    checkpoint = obtain_drl_checkpoint(registry, scenario_keys.front(), days, drl_iters,
+                                       base_seed, flags.get_string("drl-checkpoint", ""));
+  }
+
   // One job per (scenario, replica), grouped by scenario: hub ids are
   // assigned by job order, and the runner derives every hub's seed from
-  // (base_seed, hub_id).
+  // (base_seed, hub_id).  Each scheduler kind sweeps the *same* job list —
+  // identical hubs, seeds and episodes — so kinds are directly comparable.
   std::vector<std::string> expanded;
   expanded.reserve(scenario_keys.size() * hubs_per_scenario);
   for (const std::string& key : scenario_keys) {
     expanded.insert(expanded.end(), hubs_per_scenario, key);
   }
-  const std::vector<sim::FleetJob> jobs =
-      sim::make_fleet_jobs(registry, expanded, expanded.size(), days, scheduler);
 
   sim::FleetRunnerConfig runner_cfg;
   runner_cfg.base_seed = base_seed;
@@ -92,10 +159,21 @@ int main(int argc, char** argv) {
   runner_cfg.episodes_per_hub = episodes;
   const sim::FleetRunner runner(runner_cfg);
 
-  std::cout << "=== City sweep: " << jobs.size() << " hubs, " << scenario_keys.size()
+  std::cout << "=== City sweep: " << expanded.size() << " hubs, " << scenario_keys.size()
             << " scenarios, " << episodes << " episode(s) x " << days
-            << " day(s), scheduler=" << sim::to_string(scheduler) << " ===\n\n";
-  const std::vector<sim::HubRunResult> results = runner.run(jobs);
+            << " day(s), scheduler=" << scheduler_arg
+            << (lockstep ? ", lockstep-batched" : "") << " ===\n\n";
+
+  std::vector<sim::HubRunResult> results;
+  for (const sim::SchedulerKind kind : kinds) {
+    const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
+        registry, expanded, expanded.size(), days, kind,
+        kind == sim::SchedulerKind::kDrl ? checkpoint : nullptr);
+    std::vector<sim::HubRunResult> batch =
+        lockstep ? runner.run_lockstep(jobs) : runner.run(jobs);
+    results.insert(results.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
 
   sim::per_hub_table(results).print(std::cout);
   std::cout << "\n--- Aggregate by scenario ---\n";

@@ -1,15 +1,18 @@
 // Quickstart: build one ECT-Hub, run a 7-day episode with a simple
-// price-arbitrage scheduler, and print the profit breakdown.
+// price-arbitrage policy, and print the profit breakdown.
 //
 //   $ ./quickstart
 //
 // This is the smallest end-to-end use of the public API: configure a hub,
-// construct its environment, drive it with a scheduler, read the ledger.
+// construct its environment, drive it with a policy through the shared
+// observation vector, read the ledger.
 #include "core/hub_config.hpp"
 #include "core/hub_env.hpp"
-#include "core/schedulers.hpp"
+#include "policy/rule_policies.hpp"
 
 #include <iostream>
+#include <utility>
+#include <vector>
 
 int main() {
   using namespace ecthub;
@@ -26,12 +29,16 @@ int main() {
   for (std::size_t h = 19; h < 23; ++h) env_cfg.discount_by_hour[h] = true;
   core::EctHubEnv env(hub, env_cfg);
 
-  // 3. Run one week under the greedy price-arbitrage scheduler.
-  core::GreedyPriceScheduler scheduler;
-  env.reset();
+  // 3. Run one week under the greedy price-arbitrage policy.  Policies never
+  //    see the environment — they read the observation vector each step.
+  policy::GreedyPricePolicy scheduler(env.observation_layout());
+  std::vector<double> state = env.reset();
+  scheduler.begin_episode();
   bool done = false;
   while (!done) {
-    done = env.step(scheduler.decide(env)).done;
+    rl::StepResult r = env.step(scheduler.decide(state));
+    state = std::move(r.next_state);
+    done = r.done;
   }
 
   // 4. Read the books.

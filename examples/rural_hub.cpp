@@ -8,7 +8,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/hub_env.hpp"
-#include "core/schedulers.hpp"
+#include "core/policy_runner.hpp"
+#include "policy/rule_policies.hpp"
 
 #include <iostream>
 
@@ -32,12 +33,10 @@ int main(int argc, char** argv) {
     core::HubConfig hub = core::HubConfig::rural("RuralHub", 17);
     hub.plant = plant;
     core::EctHubEnv env(hub, env_cfg);
-    core::GreedyPriceScheduler sched;
+    policy::GreedyPricePolicy sched(env.observation_layout());
     double profit = 0, grid = 0, revenue = 0;
     for (std::size_t e = 0; e < episodes; ++e) {
-      env.reset();
-      bool done = false;
-      while (!done) done = env.step(sched.decide(env)).done;
+      (void)core::run_policy(env, sched, 1);
       profit += env.ledger().total_profit();
       grid += env.ledger().total_grid_cost();
       revenue += env.ledger().total_revenue();

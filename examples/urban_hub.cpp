@@ -7,7 +7,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
-#include "core/schedulers.hpp"
+#include "core/policy_runner.hpp"
+#include "policy/rule_policies.hpp"
 
 #include <iostream>
 #include <memory>
@@ -29,14 +30,14 @@ int main(int argc, char** argv) {
   std::cout << "=== Urban hub: PPO vs rule-based schedulers ===\n";
   TextTable table({"Scheduler", "mean episode profit ($)"});
 
-  std::vector<std::unique_ptr<core::Scheduler>> rule_based;
-  rule_based.push_back(std::make_unique<core::NoBatteryScheduler>());
-  rule_based.push_back(std::make_unique<core::TouScheduler>());
-  rule_based.push_back(std::make_unique<core::GreedyPriceScheduler>());
+  std::vector<std::unique_ptr<policy::Policy>> rule_based;
+  rule_based.push_back(std::make_unique<policy::NoBatteryPolicy>());
+  rule_based.push_back(std::make_unique<policy::TouPolicy>());
+  rule_based.push_back(std::make_unique<policy::GreedyPricePolicy>());
   for (auto& s : rule_based) {
     core::EctHubEnv env(hub, env_cfg);
     table.begin_row().add(s->name()).add_double(
-        stats::mean(core::run_scheduler(env, *s, episodes)), 2);
+        stats::mean(core::run_policy(env, *s, episodes)), 2);
   }
 
   core::DrlExperimentConfig drl;

@@ -1,8 +1,11 @@
 #include "core/fleet.hpp"
 
 #include "common/stats.hpp"
+#include "nn/serialize.hpp"
 
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace ecthub::core {
 
@@ -41,15 +44,20 @@ HubMethodResult run_hub_experiment(const HubConfig& hub,
   result.train_curve.reserve(history.size());
   for (const auto& h : history) result.train_curve.push_back(h.mean_episode_reward);
 
-  // Test episodes under the greedy policy; the ledger gives per-day profits.
+  // Test episodes under the *deployed* greedy policy — the exported actor a
+  // fleet sweep loads — so Table III measures the serialization + Policy API
+  // path end to end, not the training-time network.  The ledger gives the
+  // per-day profits.
+  policy::DrlPolicy deployed(export_actor_checkpoint(trainer.policy()));
   std::vector<std::vector<double>> daily_per_ep;
   daily_per_ep.reserve(cfg.test_episodes);
   for (std::size_t e = 0; e < cfg.test_episodes; ++e) {
     std::vector<double> state = env.reset();
+    deployed.begin_episode();
     bool done = false;
     while (!done) {
-      const rl::StepResult r = env.step(trainer.policy().act_greedy(state));
-      state = r.next_state;
+      rl::StepResult r = env.step(deployed.decide(state));
+      state = std::move(r.next_state);
       done = r.done;
     }
     daily_per_ep.push_back(env.ledger().daily_profit());
@@ -57,6 +65,35 @@ HubMethodResult run_hub_experiment(const HubConfig& hub,
   result.avg_daily_reward = average_daily_reward(daily_per_ep);
   result.daily_rewards = daily_per_ep.front();
   return result;
+}
+
+policy::DrlCheckpoint export_actor_checkpoint(rl::ActorCritic& ac) {
+  policy::DrlCheckpoint ckpt;
+  ckpt.config.state_dim = ac.config().state_dim;
+  ckpt.config.action_count = ac.config().action_count;
+  ckpt.config.trunk_dim = ac.config().trunk_dim;
+  ckpt.config.head_dim = ac.config().head_dim;
+  std::vector<nn::Parameter> actor_params;
+  for (auto& p : ac.parameters()) {
+    if (p.name.starts_with("ac.trunk") || p.name.starts_with("ac.actor")) {
+      actor_params.push_back(p);
+    }
+  }
+  std::ostringstream out;
+  nn::save_parameters(out, actor_params);
+  ckpt.blob = out.str();
+  return ckpt;
+}
+
+policy::DrlCheckpoint train_drl_checkpoint(const HubConfig& hub,
+                                           const DrlFleetTrainConfig& cfg) {
+  EctHubEnv env(hub, cfg.env);
+  rl::ActorCriticConfig ac_cfg;
+  ac_cfg.state_dim = env.state_dim();
+  ac_cfg.action_count = env.action_count();
+  rl::PpoTrainer trainer(cfg.ppo, ac_cfg, nn::Rng(cfg.seed));
+  trainer.train(env, cfg.iterations);
+  return export_actor_checkpoint(trainer.policy());
 }
 
 }  // namespace ecthub::core

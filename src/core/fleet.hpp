@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/hub_env.hpp"
+#include "policy/drl_policy.hpp"
 #include "rl/ppo.hpp"
 
 #include <string>
@@ -39,5 +40,26 @@ struct HubMethodResult {
 
 /// Average of the daily-profit means across test episodes.
 [[nodiscard]] double average_daily_reward(const std::vector<std::vector<double>>& daily_per_ep);
+
+/// Serializes the actor path (shared trunk + actor head) of a trained
+/// actor-critic into a deployable DrlPolicy checkpoint.  The critic head is
+/// training-time baggage and is dropped; parameter names carry over, so the
+/// checkpoint loads straight into policy::DrlPolicy and any architecture
+/// mismatch fails loudly at load time.
+[[nodiscard]] policy::DrlCheckpoint export_actor_checkpoint(rl::ActorCritic& ac);
+
+/// In-process training recipe behind SchedulerKind::kDrl: PPO on one
+/// representative hub, actor exported for fleet-wide deployment.
+struct DrlFleetTrainConfig {
+  HubEnvConfig env;      ///< episode shape to train under
+  rl::PpoConfig ppo;
+  std::size_t iterations = 4;  ///< PPO collect+update cycles
+  std::uint64_t seed = 99;
+};
+
+/// Trains a PPO policy on `hub` and returns the deployable actor checkpoint
+/// — what a fleet sweep loads when no pre-trained checkpoint is on disk.
+[[nodiscard]] policy::DrlCheckpoint train_drl_checkpoint(const HubConfig& hub,
+                                                         const DrlFleetTrainConfig& cfg);
 
 }  // namespace ecthub::core

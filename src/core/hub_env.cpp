@@ -10,12 +10,9 @@
 
 namespace ecthub::core {
 
-namespace {
-// State normalization scales: keep every channel roughly in [0, 2].
-constexpr double kPriceScale = 100.0;   // $/MWh
-constexpr double kGhiScale = 1000.0;    // W/m^2
-constexpr double kWindScale = 25.0;     // m/s
-}  // namespace
+// Normalization scales live on the shared ObservationLayout so the policies
+// decode exactly what this file encodes.
+using policy::ObservationLayout;
 
 HubEnvConfig EctHubEnv::validated(HubEnvConfig cfg) {
   if (cfg.episode_days == 0) throw std::invalid_argument("HubEnvConfig: episode_days == 0");
@@ -47,10 +44,7 @@ EctHubEnv::EctHubEnv(HubConfig hub, HubEnvConfig env_cfg)
   }
 }
 
-std::size_t EctHubEnv::state_dim() const {
-  // 5 channels (RTP, GHI, wind, traffic, SRTP) x lookback + SoC + hour phase.
-  return 5 * cfg_.lookback + 1 + 2;
-}
+std::size_t EctHubEnv::state_dim() const { return observation_layout().dim(); }
 
 double EctHubEnv::hour_of_day(std::size_t t) const {
   const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
@@ -61,15 +55,14 @@ void EctHubEnv::generate_episode() {
   const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
 
   // Traffic drives both BS power (Eq. 1) and the RTP load coupling (Fig. 5).
-  // Generator output vectors are moved into the episode buffers; series
-  // derived from them are computed in place so the buffers' capacity is
-  // reused across resets.
+  // The generators write into the episode buffers in place, so the buffers'
+  // capacity is reused across resets and regeneration is allocation-free.
   traffic::TrafficGenerator traffic_gen(hub_.traffic, rng_.fork());
-  traffic::TrafficTrace trace = traffic_gen.generate(grid);
-  load_rate_ = std::move(trace.load_rate);
+  traffic_gen.generate_into(grid, traffic_);
+  const std::vector<double>& load_rate = traffic_.load_rate;
   const power::BaseStation bs(hub_.bs);
   bs_kw_.resize(grid.size());
-  for (std::size_t t = 0; t < grid.size(); ++t) bs_kw_[t] = bs.power_kw(load_rate_[t]);
+  for (std::size_t t = 0; t < grid.size(); ++t) bs_kw_[t] = bs.power_kw(load_rate[t]);
 
   // Weather -> renewables.
   weather::WeatherGenerator wx_gen(hub_.weather, rng_.fork());
@@ -90,7 +83,7 @@ void EctHubEnv::generate_episode() {
 
   // Prices (coupled to system load) and the discounted selling price.
   pricing::RtpGenerator rtp_gen(hub_.rtp, rng_.fork());
-  rtp_ = rtp_gen.generate(grid, load_rate_);
+  rtp_gen.generate_into(grid, load_rate, rtp_);
 
   discounted_.assign(grid.size(), false);
   if (!cfg_.discount_by_hour.empty()) {
@@ -134,6 +127,8 @@ void EctHubEnv::generate_episode() {
 }
 
 std::vector<double> EctHubEnv::observe() const {
+  // Channel order, window ordering (oldest -> newest) and scales are the
+  // ObservationLayout contract; policies decode through the same struct.
   std::vector<double> state;
   state.reserve(state_dim());
   const auto window = [&](const std::vector<double>& series, double scale) {
@@ -143,11 +138,11 @@ std::vector<double> EctHubEnv::observe() const {
       state.push_back(series[idx] / scale);
     }
   };
-  window(rtp_, kPriceScale);
-  window(ghi_, kGhiScale);
-  window(wind_, kWindScale);
-  window(load_rate_, 1.0);
-  window(srtp_, kPriceScale);
+  window(rtp_, ObservationLayout::kPriceScale);
+  window(ghi_, ObservationLayout::kGhiScale);
+  window(wind_, ObservationLayout::kWindScale);
+  window(traffic_.load_rate, 1.0);
+  window(srtp_, ObservationLayout::kPriceScale);
   state.push_back(pack_->soc_frac());
   const double hour = hour_of_day(t_);
   state.push_back(std::sin(2.0 * std::numbers::pi * hour / 24.0));

@@ -14,6 +14,7 @@
 
 #include "core/hub_config.hpp"
 #include "core/profit.hpp"
+#include "policy/observation.hpp"
 #include "rl/env.hpp"
 
 #include <cstddef>
@@ -60,6 +61,12 @@ class EctHubEnv final : public rl::Env {
   [[nodiscard]] std::size_t state_dim() const override;
   [[nodiscard]] std::size_t action_count() const override { return 3; }
 
+  /// The layout of the observation vectors this environment emits — the
+  /// contract every policy (rule-based or DRL) decodes its features through.
+  [[nodiscard]] policy::ObservationLayout observation_layout() const noexcept {
+    return policy::ObservationLayout{cfg_.lookback};
+  }
+
   // ---- Introspection for rule-based schedulers, accounting and tests ----
   [[nodiscard]] std::size_t current_slot() const noexcept { return t_; }
   [[nodiscard]] std::size_t slots_per_episode() const noexcept {
@@ -89,11 +96,12 @@ class EctHubEnv final : public rl::Env {
   Rng rng_;
 
   // Episode series.  Regenerated at each reset *in place*: the vectors keep
-  // their capacity across episodes, so after the first reset an episode costs
-  // no heap allocation beyond what the stochastic generators themselves do.
+  // their capacity across episodes, and the traffic/RTP generators write
+  // through their generate_into() overloads, so after the first reset an
+  // episode costs no heap allocation on the traffic or price paths.
   std::vector<double> rtp_;
   std::vector<double> srtp_;
-  std::vector<double> load_rate_;
+  traffic::TrafficTrace traffic_;  ///< load-rate + volume buffers, reused
   std::vector<double> bs_kw_;
   std::vector<double> cs_kw_;
   std::vector<double> ghi_;

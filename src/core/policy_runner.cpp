@@ -1,0 +1,24 @@
+#include "core/policy_runner.hpp"
+
+#include <utility>
+
+namespace ecthub::core {
+
+std::vector<double> run_policy(EctHubEnv& env, policy::Policy& pol, std::size_t episodes) {
+  std::vector<double> profits;
+  profits.reserve(episodes);
+  for (std::size_t e = 0; e < episodes; ++e) {
+    std::vector<double> state = env.reset();
+    pol.begin_episode();
+    bool done = false;
+    while (!done) {
+      rl::StepResult r = env.step(pol.decide(state));
+      state = std::move(r.next_state);
+      done = r.done;
+    }
+    profits.push_back(env.ledger().total_profit());
+  }
+  return profits;
+}
+
+}  // namespace ecthub::core

@@ -3,7 +3,7 @@
 // The paper notes network traffic is "a good indicator for predicting
 // electricity costs" and that renewable output is "hard to predict in
 // advance"; these predictors quantify both claims and power the
-// forecast-based scheduler (core/schedulers.hpp), an interpretable
+// forecast-based policy (policy/rule_policies.hpp), an interpretable
 // middle ground between the TOU rule and ECT-DRL.
 #pragma once
 

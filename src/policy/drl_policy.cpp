@@ -1,0 +1,150 @@
+#include "policy/drl_policy.hpp"
+
+#include "nn/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecthub::policy {
+
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x4543545044524c31ULL;  // "ECTPDRL1"
+
+nn::MlpConfig actor_head_config(const DrlPolicyConfig& cfg) {
+  nn::MlpConfig mc;
+  mc.layer_dims = {cfg.trunk_dim, cfg.head_dim, cfg.action_count};
+  mc.output_activation = nn::Activation::kIdentity;
+  return mc;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("DrlCheckpoint::load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void DrlCheckpoint::save(std::ostream& out) const {
+  write_u64(out, kCheckpointMagic);
+  write_u64(out, config.state_dim);
+  write_u64(out, config.action_count);
+  write_u64(out, config.trunk_dim);
+  write_u64(out, config.head_dim);
+  write_u64(out, blob.size());
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) throw std::runtime_error("DrlCheckpoint::save: write failed");
+}
+
+DrlCheckpoint DrlCheckpoint::load(std::istream& in) {
+  if (read_u64(in) != kCheckpointMagic) {
+    throw std::runtime_error("DrlCheckpoint::load: bad magic (not a DRL checkpoint)");
+  }
+  DrlCheckpoint ckpt;
+  ckpt.config.state_dim = read_u64(in);
+  ckpt.config.action_count = read_u64(in);
+  ckpt.config.trunk_dim = read_u64(in);
+  ckpt.config.head_dim = read_u64(in);
+  const std::uint64_t blob_size = read_u64(in);
+  // Guard against garbage sizes from corrupt files before allocating (the
+  // largest plausible actor blob is a few MB).
+  if (blob_size > (1ULL << 30)) {
+    throw std::runtime_error("DrlCheckpoint::load: implausible blob size (corrupt file)");
+  }
+  ckpt.blob.resize(blob_size);
+  in.read(ckpt.blob.data(), static_cast<std::streamsize>(blob_size));
+  if (!in) throw std::runtime_error("DrlCheckpoint::load: truncated parameter blob");
+  return ckpt;
+}
+
+DrlPolicyConfig DrlPolicy::validated(DrlPolicyConfig cfg) {
+  if (cfg.state_dim == 0) throw std::invalid_argument("DrlPolicyConfig: state_dim == 0");
+  if (cfg.action_count < 2) {
+    throw std::invalid_argument("DrlPolicyConfig: need >= 2 actions");
+  }
+  if (cfg.trunk_dim == 0 || cfg.head_dim == 0) {
+    throw std::invalid_argument("DrlPolicyConfig: zero layer width");
+  }
+  return cfg;
+}
+
+DrlPolicy::DrlPolicy(DrlPolicyConfig cfg, nn::Rng& rng)
+    : cfg_(validated(cfg)),
+      trunk_(cfg_.state_dim, cfg_.trunk_dim, rng, "ac.trunk"),
+      trunk_act_(nn::Activation::kTanh),
+      actor_(actor_head_config(cfg_), rng, "ac.actor") {}
+
+nn::Rng& DrlPolicy::init_scratch_rng() {
+  // Layer construction needs an RNG, but a restored policy overwrites every
+  // weight from the blob immediately after — the draws never matter.
+  static thread_local nn::Rng scratch(0);
+  return scratch;
+}
+
+DrlPolicy::DrlPolicy(const DrlCheckpoint& checkpoint)
+    : DrlPolicy(checkpoint.config, init_scratch_rng()) {
+  std::istringstream in(checkpoint.blob);
+  std::vector<nn::Parameter> params = parameters();
+  nn::load_parameters(in, params);
+}
+
+nn::Matrix DrlPolicy::forward_logits(const nn::Matrix& states) {
+  return actor_.forward(trunk_act_.forward(trunk_.forward(states)));
+}
+
+std::size_t DrlPolicy::decide(std::span<const double> obs) {
+  if (obs.size() != cfg_.state_dim) {
+    throw std::invalid_argument("DrlPolicy::decide: state dim mismatch");
+  }
+  nn::Matrix s(1, cfg_.state_dim);
+  for (std::size_t c = 0; c < cfg_.state_dim; ++c) s(0, c) = obs[c];
+  const nn::Matrix logits = forward_logits(s);
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < cfg_.action_count; ++a) {
+    if (logits(0, a) > logits(0, best)) best = a;
+  }
+  return best;
+}
+
+void DrlPolicy::decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions) {
+  if (actions.size() != obs.rows()) {
+    throw std::invalid_argument("DrlPolicy::decide_batch: row/action count mismatch");
+  }
+  if (obs.rows() == 0) return;
+  if (obs.cols() != cfg_.state_dim) {
+    throw std::invalid_argument("DrlPolicy::decide_batch: state dim mismatch");
+  }
+  const nn::Matrix logits = forward_logits(obs);
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < cfg_.action_count; ++a) {
+      if (logits(i, a) > logits(i, best)) best = a;
+    }
+    actions[i] = best;
+  }
+}
+
+DrlCheckpoint DrlPolicy::checkpoint() {
+  DrlCheckpoint ckpt;
+  ckpt.config = cfg_;
+  std::ostringstream out;
+  nn::save_parameters(out, parameters());
+  ckpt.blob = out.str();
+  return ckpt;
+}
+
+std::vector<nn::Parameter> DrlPolicy::parameters() {
+  std::vector<nn::Parameter> out = trunk_.parameters();
+  for (auto& p : actor_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace ecthub::policy

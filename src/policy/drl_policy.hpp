@@ -1,0 +1,82 @@
+// ECT-DRL deployment policy: the trained PPO actor behind the Policy API.
+//
+// DrlPolicy wraps the actor path of the actor-critic network (shared trunk +
+// actor head, paper Fig. 10) and acts greedily (argmax over action logits).
+// Its decide_batch() override is the payoff of the unified API: one forward
+// pass over a (hubs x state_dim) matrix turns per-hub matrix-vector products
+// into matrix-matrix GEMMs across the whole fleet slot.
+//
+// Weights travel as a DrlCheckpoint — the network shape plus an nn/serialize
+// parameter blob.  The parameter names mirror rl::ActorCritic ("ac.trunk",
+// "ac.actor.*"), so a checkpoint exported from a trained PPO policy loads
+// straight into a DrlPolicy (core::export_actor_checkpoint does exactly
+// that) and any architecture mismatch fails loudly at load time.
+#pragma once
+
+#include "nn/layers.hpp"
+#include "nn/mlp.hpp"
+#include "policy/policy.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecthub::policy {
+
+/// Actor network shape; must match the rl::ActorCriticConfig it was trained
+/// under for a checkpoint to load.
+struct DrlPolicyConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_count = 3;
+  std::size_t trunk_dim = 64;  ///< shared fully connected layer width
+  std::size_t head_dim = 32;   ///< hidden width of the actor head
+};
+
+/// A serialized actor: shape + nn::save_parameters blob (trunk and actor
+/// tensors only — the critic head is training-time baggage).
+struct DrlCheckpoint {
+  DrlPolicyConfig config;
+  std::string blob;
+
+  /// Binary round trip; throws std::runtime_error on I/O or format errors.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static DrlCheckpoint load(std::istream& in);
+};
+
+class DrlPolicy final : public Policy {
+ public:
+  /// Fresh (randomly initialized) actor — the pre-training starting point.
+  DrlPolicy(DrlPolicyConfig cfg, nn::Rng& rng);
+
+  /// Restores a serialized actor; throws std::runtime_error when the blob
+  /// does not match the checkpoint's own shape.
+  explicit DrlPolicy(const DrlCheckpoint& checkpoint);
+
+  std::size_t decide(std::span<const double> obs) override;
+  /// One batched forward pass: (batch x state_dim) -> argmax logits per row.
+  /// Bit-identical per row to decide() on that row (the GEMM accumulates
+  /// each output element in the same order regardless of batch size).
+  void decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions) override;
+
+  [[nodiscard]] std::string name() const override { return "ECT-DRL"; }
+  [[nodiscard]] bool stateless() const override { return true; }
+
+  /// Serializes the current weights.
+  [[nodiscard]] DrlCheckpoint checkpoint();
+
+  [[nodiscard]] std::vector<nn::Parameter> parameters();
+  [[nodiscard]] const DrlPolicyConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] static DrlPolicyConfig validated(DrlPolicyConfig cfg);
+  [[nodiscard]] static nn::Rng& init_scratch_rng();
+  [[nodiscard]] nn::Matrix forward_logits(const nn::Matrix& states);
+
+  DrlPolicyConfig cfg_;
+  nn::Dense trunk_;
+  nn::ActivationLayer trunk_act_;
+  nn::Mlp actor_;  ///< -> logits
+};
+
+}  // namespace ecthub::policy

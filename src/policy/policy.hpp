@@ -1,0 +1,52 @@
+// The unified decision interface: one Policy API for rule-based and DRL
+// schedulers.
+//
+// A Policy maps the EctHubEnv observation vector (see observation.hpp) to a
+// BP action (0 = idle, 1 = charge, 2 = discharge) and never sees the
+// environment object itself.  That inversion is what lets one fleet engine
+// drive every scheduler family the same way — and batch them: decide_batch()
+// takes a (hubs x state_dim) matrix and fills one action per row, so a
+// neural policy can replace per-hub matrix-vector products with a single
+// matrix-matrix forward pass across the whole fleet slot.
+#pragma once
+
+#include "nn/matrix.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ecthub::policy {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Decides the BP action for one observation.  Called exactly once per
+  /// slot, in slot order — stateful policies (price trackers, RNG-driven
+  /// exploration) advance their internal state on each call.
+  virtual std::size_t decide(std::span<const double> obs) = 0;
+
+  /// Batched decisions: `obs` is (batch x state_dim), `actions` receives one
+  /// action per row.  The default decides row by row in order, advancing any
+  /// internal state exactly as the equivalent sequence of decide() calls
+  /// would.  Overrides (DrlPolicy) fuse the batch into one forward pass.
+  ///
+  /// Rows may come from *different* hubs only when stateless() is true;
+  /// stateful policies must stay one-instance-per-hub.
+  virtual void decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions);
+
+  /// Resets per-episode state; called after every env reset.  Stateless
+  /// policies ignore it.  Cross-episode knowledge (e.g. a learned diurnal
+  /// price curve) deliberately survives — only within-episode trackers clear.
+  virtual void begin_episode() {}
+
+  /// True when decide() is a pure function of the observation, so a single
+  /// instance may serve many hubs and decide_batch() may mix rows from
+  /// different hubs in one call.
+  [[nodiscard]] virtual bool stateless() const { return false; }
+};
+
+}  // namespace ecthub::policy

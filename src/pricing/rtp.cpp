@@ -31,19 +31,25 @@ double RtpGenerator::diurnal_component(double hour_of_day) const {
 
 std::vector<double> RtpGenerator::generate(const TimeGrid& grid,
                                            const std::vector<double>& system_load) {
+  std::vector<double> price;
+  generate_into(grid, system_load, price);
+  return price;
+}
+
+void RtpGenerator::generate_into(const TimeGrid& grid, const std::vector<double>& system_load,
+                                 std::vector<double>& price_out) {
   if (!system_load.empty() && system_load.size() != grid.size()) {
     throw std::invalid_argument("RtpGenerator: system_load length must match grid");
   }
-  std::vector<double> price(grid.size(), 0.0);
+  price_out.resize(grid.size());
   double ar = 0.0;
   for (std::size_t t = 0; t < grid.size(); ++t) {
     ar = cfg_.noise_persistence * ar + rng_.normal(0.0, cfg_.noise_sigma);
     double p = cfg_.base_price + diurnal_component(grid.hour_of_day(t)) + ar;
     if (!system_load.empty()) p += cfg_.load_coupling * system_load[t];
     if (rng_.bernoulli(cfg_.spike_prob)) p += rng_.exponential(1.0 / cfg_.spike_scale);
-    price[t] = std::max(p, cfg_.floor_price);
+    price_out[t] = std::max(p, cfg_.floor_price);
   }
-  return price;
 }
 
 }  // namespace ecthub::pricing

@@ -33,6 +33,13 @@ class RtpGenerator {
   [[nodiscard]] std::vector<double> generate(const TimeGrid& grid,
                                              const std::vector<double>& system_load = {});
 
+  /// Allocation-free variant: writes the series into `price_out`, reusing
+  /// its capacity.  Draws the identical stochastic stream as generate() —
+  /// EctHubEnv::reset uses this to regenerate episodes without touching the
+  /// heap.  `price_out` must not alias `system_load`.
+  void generate_into(const TimeGrid& grid, const std::vector<double>& system_load,
+                     std::vector<double>& price_out);
+
   /// Deterministic diurnal component at an hour of day (no noise/spikes).
   [[nodiscard]] double diurnal_component(double hour_of_day) const;
 

@@ -1,17 +1,28 @@
 #include "sim/fleet_runner.hpp"
 
+#include "policy/rule_policies.hpp"
 #include "sim/scenario.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <exception>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 namespace ecthub::sim {
+
+namespace {
+// The policy stream must be independent of the hub stream: xor with a fixed
+// tag so a RandomPolicy never replays the env's own draws.
+constexpr std::uint64_t kPolicySeedTag = 0xec7ec7ec7ec7ec7eULL;
+}  // namespace
 
 std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t hub_id) noexcept {
   // splitmix64 finalizer over a golden-ratio stride; (hub_id + 1) keeps
@@ -22,14 +33,25 @@ std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t hub_id) noexcept {
   return z ^ (z >> 31);
 }
 
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kNoBattery, SchedulerKind::kTou,    SchedulerKind::kGreedyPrice,
+      SchedulerKind::kForecast,  SchedulerKind::kRandom, SchedulerKind::kDrl};
+  return kinds;
+}
+
 SchedulerKind scheduler_kind_from_string(const std::string& name) {
-  if (name == "none") return SchedulerKind::kNoBattery;
-  if (name == "tou") return SchedulerKind::kTou;
-  if (name == "greedy") return SchedulerKind::kGreedyPrice;
-  if (name == "forecast") return SchedulerKind::kForecast;
-  if (name == "random") return SchedulerKind::kRandom;
+  std::string key(name.size(), '\0');
+  std::transform(name.begin(), name.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  std::string valid;
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    if (key == to_string(kind)) return kind;
+    if (!valid.empty()) valid += '|';
+    valid += to_string(kind);
+  }
   throw std::invalid_argument("scheduler_kind_from_string: unknown scheduler '" + name +
-                              "' (want none|tou|greedy|forecast|random)");
+                              "' (valid, case-insensitive: " + valid + ")");
 }
 
 std::string to_string(SchedulerKind kind) {
@@ -39,25 +61,44 @@ std::string to_string(SchedulerKind kind) {
     case SchedulerKind::kGreedyPrice: return "greedy";
     case SchedulerKind::kForecast: return "forecast";
     case SchedulerKind::kRandom: return "random";
+    case SchedulerKind::kDrl: return "drl";
   }
   throw std::invalid_argument("to_string: bad SchedulerKind");
 }
 
-std::unique_ptr<core::Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed) {
+std::unique_ptr<policy::Policy> make_policy(
+    SchedulerKind kind, std::uint64_t seed, const policy::ObservationLayout& layout,
+    const std::shared_ptr<const policy::DrlCheckpoint>& checkpoint) {
   switch (kind) {
-    case SchedulerKind::kNoBattery: return std::make_unique<core::NoBatteryScheduler>();
-    case SchedulerKind::kTou: return std::make_unique<core::TouScheduler>();
-    case SchedulerKind::kGreedyPrice: return std::make_unique<core::GreedyPriceScheduler>();
-    case SchedulerKind::kForecast: return std::make_unique<core::ForecastScheduler>();
-    case SchedulerKind::kRandom: return std::make_unique<core::RandomScheduler>(seed);
+    case SchedulerKind::kNoBattery: return std::make_unique<policy::NoBatteryPolicy>();
+    case SchedulerKind::kTou: return std::make_unique<policy::TouPolicy>(layout);
+    case SchedulerKind::kGreedyPrice:
+      return std::make_unique<policy::GreedyPricePolicy>(layout);
+    case SchedulerKind::kForecast: return std::make_unique<policy::ForecastPolicy>(layout);
+    case SchedulerKind::kRandom: return std::make_unique<policy::RandomPolicy>(seed);
+    case SchedulerKind::kDrl: {
+      if (!checkpoint) {
+        throw std::invalid_argument(
+            "make_policy: SchedulerKind::kDrl needs a trained DrlCheckpoint "
+            "(attach one to the FleetJob)");
+      }
+      if (checkpoint->config.state_dim != layout.dim()) {
+        throw std::invalid_argument(
+            "make_policy: DRL checkpoint was trained for state_dim " +
+            std::to_string(checkpoint->config.state_dim) + " but the hub emits " +
+            std::to_string(layout.dim()));
+      }
+      return std::make_unique<policy::DrlPolicy>(*checkpoint);
+    }
   }
-  throw std::invalid_argument("make_scheduler: bad SchedulerKind");
+  throw std::invalid_argument("make_policy: bad SchedulerKind");
 }
 
 std::vector<FleetJob> make_fleet_jobs(const ScenarioRegistry& registry,
                                       const std::vector<std::string>& scenario_keys,
                                       std::size_t count, std::size_t episode_days,
-                                      SchedulerKind scheduler) {
+                                      SchedulerKind scheduler,
+                                      std::shared_ptr<const policy::DrlCheckpoint> checkpoint) {
   if (scenario_keys.empty()) {
     throw std::invalid_argument("make_fleet_jobs: no scenario keys");
   }
@@ -72,6 +113,7 @@ std::vector<FleetJob> make_fleet_jobs(const ScenarioRegistry& registry,
     job.env.episode_days = episode_days;
     job.scenario = key;
     job.scheduler = scheduler;
+    job.checkpoint = checkpoint;
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -90,9 +132,8 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
   core::HubConfig hub = job.hub;
   hub.seed = hub_seed;
   core::EctHubEnv env(std::move(hub), job.env);
-  // The scheduler stream must be independent of the hub stream: xor with a
-  // fixed tag so a RandomScheduler never replays the env's own draws.
-  const auto sched = make_scheduler(job.scheduler, hub_seed ^ 0xec7ec7ec7ec7ec7eULL);
+  const auto pol = make_policy(job.scheduler, hub_seed ^ kPolicySeedTag,
+                               env.observation_layout(), job.checkpoint);
 
   HubRunResult r;
   r.hub_id = hub_id;
@@ -105,7 +146,8 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
   r.episode_profit.reserve(cfg.episodes_per_hub);
 
   for (std::size_t ep = 0; ep < cfg.episodes_per_hub; ++ep) {
-    env.reset();
+    std::vector<double> state = env.reset();
+    pol->begin_episode();
     const bool record_soc = ep + 1 == cfg.episodes_per_hub;
     SocDigest soc;
     if (record_soc) {
@@ -115,7 +157,9 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
     }
     bool done = false;
     while (!done) {
-      done = env.step(sched->decide(env)).done;
+      rl::StepResult sr = env.step(pol->decide(state));
+      state = std::move(sr.next_state);
+      done = sr.done;
       if (record_soc) {
         const double s = env.soc_frac();
         soc.last = s;
@@ -181,6 +225,172 @@ std::vector<HubRunResult> FleetRunner::run(const std::vector<FleetJob>& jobs) co
   for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>& jobs) const {
+  constexpr std::size_t kNoGroup = std::numeric_limits<std::size_t>::max();
+
+  std::vector<HubRunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // One lane per hub: its env, observation buffer and episode bookkeeping.
+  struct Lane {
+    std::unique_ptr<core::EctHubEnv> env;
+    std::unique_ptr<policy::Policy> own_pol;  ///< stateful policies only
+    std::size_t group = kNoGroup;             ///< shared-policy group index
+    std::vector<double> state;
+    std::size_t episodes_done = 0;
+    std::size_t action = 0;
+    bool active = true;
+    bool record_soc = false;
+    SocDigest soc;
+    HubRunResult result;
+  };
+  // A shared stateless policy and the gather/scatter scratch of its batch.
+  struct Group {
+    std::unique_ptr<policy::Policy> pol;
+    std::size_t dim = 0;
+    std::vector<std::size_t> members;  ///< active lane indices this slot
+    nn::Matrix obs;
+    std::vector<std::size_t> actions;
+  };
+
+  std::vector<Lane> lanes(jobs.size());
+  std::vector<Group> groups;
+  // Lanes whose policy is a pure function of the observation share one
+  // instance per (kind, checkpoint, layout); value -1 marks a stateful kind
+  // that must stay one-instance-per-hub.
+  using GroupKey = std::tuple<int, const void*, std::size_t>;
+  std::map<GroupKey, std::ptrdiff_t> group_of;
+
+  const auto policy_of = [&](Lane& lane) -> policy::Policy& {
+    return lane.group == kNoGroup ? *lane.own_pol : *groups[lane.group].pol;
+  };
+  const auto begin_episode = [&](Lane& lane) {
+    lane.state = lane.env->reset();
+    policy_of(lane).begin_episode();
+    lane.record_soc = lane.episodes_done + 1 == cfg_.episodes_per_hub;
+    if (lane.record_soc) {
+      lane.soc = SocDigest{};
+      lane.soc.first = lane.env->soc_frac();
+      lane.soc.min = std::numeric_limits<double>::infinity();
+      lane.soc.max = -std::numeric_limits<double>::infinity();
+    }
+  };
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const FleetJob& job = jobs[i];
+    Lane& lane = lanes[i];
+    const std::uint64_t hub_seed = mix_seed(cfg_.base_seed, i);
+
+    core::HubConfig hub = job.hub;
+    hub.seed = hub_seed;
+    lane.env = std::make_unique<core::EctHubEnv>(std::move(hub), job.env);
+    const policy::ObservationLayout layout = lane.env->observation_layout();
+
+    const GroupKey key{static_cast<int>(job.scheduler), job.checkpoint.get(),
+                       layout.lookback};
+    const auto it = group_of.find(key);
+    if (it != group_of.end() && it->second >= 0) {
+      lane.group = static_cast<std::size_t>(it->second);
+    } else if (it != group_of.end()) {
+      lane.own_pol =
+          make_policy(job.scheduler, hub_seed ^ kPolicySeedTag, layout, job.checkpoint);
+    } else {
+      auto pol =
+          make_policy(job.scheduler, hub_seed ^ kPolicySeedTag, layout, job.checkpoint);
+      if (pol->stateless()) {
+        lane.group = groups.size();
+        group_of[key] = static_cast<std::ptrdiff_t>(groups.size());
+        Group g;
+        g.pol = std::move(pol);
+        g.dim = layout.dim();
+        groups.push_back(std::move(g));
+      } else {
+        group_of[key] = -1;
+        lane.own_pol = std::move(pol);
+      }
+    }
+
+    lane.result.hub_id = i;
+    lane.result.hub_name = job.hub.name;
+    lane.result.scenario = job.scenario;
+    lane.result.scheduler = job.scheduler;
+    lane.result.seed = hub_seed;
+    lane.result.episodes = cfg_.episodes_per_hub;
+    lane.result.slots_per_episode = lane.env->slots_per_episode();
+    lane.result.episode_profit.reserve(cfg_.episodes_per_hub);
+    begin_episode(lane);
+  }
+
+  std::size_t active_count = lanes.size();
+  while (active_count > 0) {
+    // Gather -> one batched policy call per group -> scatter.  This is the
+    // matrix-matrix fleet slot: for an ECT-DRL fleet every hub's action
+    // comes out of a single forward pass.
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      Group& g = groups[gi];
+      g.members.clear();
+      for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (lanes[i].active && lanes[i].group == gi) g.members.push_back(i);
+      }
+      if (g.members.empty()) continue;
+      if (g.obs.rows() != g.members.size()) g.obs = nn::Matrix(g.members.size(), g.dim);
+      double* obs_data = g.obs.data().data();
+      for (std::size_t m = 0; m < g.members.size(); ++m) {
+        const std::vector<double>& state = lanes[g.members[m]].state;
+        std::copy(state.begin(), state.end(), obs_data + m * g.dim);
+      }
+      g.actions.resize(g.members.size());
+      g.pol->decide_batch(g.obs, std::span<std::size_t>(g.actions));
+      for (std::size_t m = 0; m < g.members.size(); ++m) {
+        lanes[g.members[m]].action = g.actions[m];
+      }
+    }
+    // Stateful policies decide per hub, exactly as in run_job.
+    for (Lane& lane : lanes) {
+      if (lane.active && lane.group == kNoGroup) {
+        lane.action = lane.own_pol->decide(lane.state);
+      }
+    }
+    // Advance every active hub one slot.
+    for (Lane& lane : lanes) {
+      if (!lane.active) continue;
+      rl::StepResult sr = lane.env->step(lane.action);
+      if (lane.record_soc) {
+        const double s = lane.env->soc_frac();
+        lane.soc.last = s;
+        lane.soc.min = std::min(lane.soc.min, s);
+        lane.soc.max = std::max(lane.soc.max, s);
+        lane.soc.checksum += s;
+        ++lane.soc.samples;
+      }
+      lane.state = std::move(sr.next_state);
+      if (!sr.done) continue;
+      if (lane.record_soc) {
+        lane.soc.mean = lane.soc.samples > 0
+                            ? lane.soc.checksum / static_cast<double>(lane.soc.samples)
+                            : 0.0;
+        lane.result.soc = lane.soc;
+      }
+      const core::ProfitLedger& ledger = lane.env->ledger();
+      lane.result.revenue += ledger.total_revenue();
+      lane.result.grid_cost += ledger.total_grid_cost();
+      lane.result.bp_cost += ledger.total_bp_cost();
+      lane.result.profit += ledger.total_profit();
+      lane.result.episode_profit.push_back(ledger.total_profit());
+      ++lane.episodes_done;
+      if (lane.episodes_done < cfg_.episodes_per_hub) {
+        begin_episode(lane);
+      } else {
+        lane.active = false;
+        --active_count;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) results[i] = std::move(lanes[i].result);
   return results;
 }
 

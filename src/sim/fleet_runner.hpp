@@ -1,18 +1,27 @@
-// FleetRunner: N independent hub episodes across a thread pool.
+// FleetRunner: N independent hub episodes, per-hub-threaded or
+// lockstep-batched.
 //
 // Each job (hub config + episode shape + scheduler kind) is fully
-// self-contained: the worker constructs its own EctHubEnv and Scheduler, and
+// self-contained: the worker constructs its own EctHubEnv and Policy, and
 // every stochastic stream is seeded as seed = mix_seed(base_seed, hub_id) —
 // RNG state is never shared between hubs.  Results are written into a
 // per-job slot, so the output is bit-identical regardless of thread count or
 // scheduling order: running 32 hubs on 1 thread or 8 threads produces the
-// same ledgers to the last bit.  That property is the foundation every
-// future sharding/batching layer builds on, and tests/test_sim.cpp pins it.
+// same ledgers to the last bit.
+//
+// run() executes one hub per worker end to end.  run_lockstep() advances
+// every hub slot-by-slot instead: it gathers the per-hub observations into
+// one (hubs x state_dim) matrix, makes a single batched Policy call per
+// fleet slot, and scatters the actions back — so a neural policy (ECT-DRL)
+// replaces N matrix-vector products with one matrix-matrix forward pass.
+// Both paths produce bit-identical results (tests/test_sim.cpp pins it);
+// that property is the foundation every sharding/batching layer builds on.
 #pragma once
 
 #include "core/hub_config.hpp"
 #include "core/hub_env.hpp"
-#include "core/schedulers.hpp"
+#include "policy/drl_policy.hpp"
+#include "policy/policy.hpp"
 
 #include <cstdint>
 #include <memory>
@@ -26,18 +35,27 @@ namespace ecthub::sim {
 [[nodiscard]] std::uint64_t mix_seed(std::uint64_t base_seed,
                                      std::uint64_t hub_id) noexcept;
 
-/// Rule-based scheduler families the runner can instantiate per worker.
-enum class SchedulerKind { kNoBattery, kTou, kGreedyPrice, kForecast, kRandom };
+/// Scheduler families the runner can instantiate per worker: the five
+/// rule-based baselines plus the trained ECT-DRL actor.
+enum class SchedulerKind { kNoBattery, kTou, kGreedyPrice, kForecast, kRandom, kDrl };
 
-/// Parses "none" | "tou" | "greedy" | "forecast" | "random" (case-sensitive).
-/// Throws std::invalid_argument on anything else.
+/// All kinds in declaration order — the sweep set of scheduler comparisons.
+[[nodiscard]] const std::vector<SchedulerKind>& all_scheduler_kinds();
+
+/// Parses "none" | "tou" | "greedy" | "forecast" | "random" | "drl",
+/// case-insensitively.  Throws std::invalid_argument listing every valid
+/// name on anything else.
 [[nodiscard]] SchedulerKind scheduler_kind_from_string(const std::string& name);
 [[nodiscard]] std::string to_string(SchedulerKind kind);
 
-/// Fresh scheduler instance; cheap enough to build once per worker.  `seed`
-/// only matters for kRandom.
-[[nodiscard]] std::unique_ptr<core::Scheduler> make_scheduler(SchedulerKind kind,
-                                                              std::uint64_t seed);
+/// Fresh policy instance for `kind`; cheap enough to build once per worker.
+/// `seed` only matters for kRandom; `layout` must describe the observations
+/// the hub emits (EctHubEnv::observation_layout()).  kDrl requires a
+/// checkpoint whose state_dim matches the layout and throws
+/// std::invalid_argument without one.
+[[nodiscard]] std::unique_ptr<policy::Policy> make_policy(
+    SchedulerKind kind, std::uint64_t seed, const policy::ObservationLayout& layout,
+    const std::shared_ptr<const policy::DrlCheckpoint>& checkpoint = nullptr);
 
 /// One unit of fleet work: a hub evaluated under one scheduler.  The hub's
 /// `seed` field is overridden by the runner with mix_seed(base_seed, hub_id).
@@ -46,6 +64,9 @@ struct FleetJob {
   core::HubEnvConfig env;
   std::string scenario = "custom";  ///< label carried into the report
   SchedulerKind scheduler = SchedulerKind::kTou;
+  /// Trained actor weights; required when scheduler == kDrl.  Immutable and
+  /// shared across jobs — each worker restores its own DrlPolicy from it.
+  std::shared_ptr<const policy::DrlCheckpoint> checkpoint;
 };
 
 /// Digest of the SoC trajectory over the job's last episode.
@@ -82,15 +103,19 @@ class ScenarioRegistry;  // scenario.hpp
 
 /// Builds `count` jobs cycling round-robin through `scenario_keys` (each must
 /// exist in `registry`).  Hub i is named "<key>-<i>" and runs the scenario's
-/// episode shape with `episode_days` days.  The shared job-construction path
-/// of the sweep driver, the fleet bench and the determinism tests.
+/// episode shape with `episode_days` days.  `checkpoint` is attached to every
+/// job (needed when scheduler == kDrl).  The shared job-construction path of
+/// the sweep driver, the fleet bench and the determinism tests.
 [[nodiscard]] std::vector<FleetJob> make_fleet_jobs(
     const ScenarioRegistry& registry, const std::vector<std::string>& scenario_keys,
-    std::size_t count, std::size_t episode_days, SchedulerKind scheduler);
+    std::size_t count, std::size_t episode_days, SchedulerKind scheduler,
+    std::shared_ptr<const policy::DrlCheckpoint> checkpoint = nullptr);
 
 struct FleetRunnerConfig {
   std::uint64_t base_seed = 7;
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads for run(); 0 means std::thread::hardware_concurrency().
+  /// run_lockstep() is single-threaded — its parallelism is the batched
+  /// policy call.
   std::size_t threads = 0;
   std::size_t episodes_per_hub = 1;
 };
@@ -99,12 +124,22 @@ class FleetRunner {
  public:
   explicit FleetRunner(FleetRunnerConfig cfg);
 
-  /// Runs every job; results[i] corresponds to jobs[i] (hub_id == i).  The
-  /// first exception thrown by any worker is rethrown after all workers have
-  /// been joined.
+  /// Runs every job, one hub per worker; results[i] corresponds to jobs[i]
+  /// (hub_id == i).  The first exception thrown by any worker is rethrown
+  /// after all workers have been joined.
   [[nodiscard]] std::vector<HubRunResult> run(const std::vector<FleetJob>& jobs) const;
 
-  /// Executes one job synchronously — the exact function each worker runs.
+  /// Lockstep execution: advances all hubs slot-by-slot and batches policy
+  /// inference.  Stateless policies (TOU, no-battery, ECT-DRL) of the same
+  /// kind and checkpoint share one instance fed a (hubs x state_dim)
+  /// observation matrix — one decide_batch() call per fleet slot; stateful
+  /// policies keep an instance per hub.  Bit-identical to run() on the same
+  /// jobs and config.
+  [[nodiscard]] std::vector<HubRunResult> run_lockstep(
+      const std::vector<FleetJob>& jobs) const;
+
+  /// Executes one job synchronously — the exact function each run() worker
+  /// runs.
   [[nodiscard]] static HubRunResult run_job(const FleetJob& job, std::size_t hub_id,
                                             const FleetRunnerConfig& cfg);
 

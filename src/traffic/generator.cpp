@@ -17,8 +17,13 @@ TrafficGenerator::TrafficGenerator(TrafficConfig cfg, Rng rng) : cfg_(cfg), rng_
 }
 
 TrafficTrace TrafficGenerator::generate(const TimeGrid& grid) {
-  const DiurnalProfile profile = DiurnalProfile::for_area(cfg_.area);
   TrafficTrace trace;
+  generate_into(grid, trace);
+  return trace;
+}
+
+void TrafficGenerator::generate_into(const TimeGrid& grid, TrafficTrace& trace) {
+  const DiurnalProfile profile = DiurnalProfile::for_area(cfg_.area);
   trace.load_rate.resize(grid.size());
   trace.volume_gb.resize(grid.size());
 
@@ -31,7 +36,6 @@ TrafficTrace TrafficGenerator::generate(const TimeGrid& grid) {
     trace.load_rate[t] = load;
     trace.volume_gb[t] = load * cfg_.peak_volume_gb;
   }
-  return trace;
 }
 
 }  // namespace ecthub::traffic

@@ -41,6 +41,12 @@ class TrafficGenerator {
   /// at construction.
   [[nodiscard]] TrafficTrace generate(const TimeGrid& grid);
 
+  /// Allocation-free variant: writes the trace into `trace` in place,
+  /// reusing its buffers' capacity.  Draws the identical stochastic stream
+  /// as generate() — EctHubEnv::reset uses this to regenerate episodes
+  /// without touching the heap.
+  void generate_into(const TimeGrid& grid, TrafficTrace& trace);
+
   [[nodiscard]] const TrafficConfig& config() const noexcept { return cfg_; }
 
  private:

@@ -1,15 +1,18 @@
 // Tests for the core hub: configuration, environment (Eqs. 1-12 wired
-// together), profit ledger, and the rule-based schedulers.
+// together), profit ledger, and the policy execution path.
 #include "common/stats.hpp"
 #include "core/fleet.hpp"
 #include "core/hub_config.hpp"
 #include "core/hub_env.hpp"
+#include "core/policy_runner.hpp"
 #include "core/profit.hpp"
-#include "core/schedulers.hpp"
+#include "policy/rule_policies.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 namespace ecthub::core {
 namespace {
@@ -347,16 +350,17 @@ TEST(EctHubEnv, EmptyDiscountScheduleMatchesAllFalse) {
   EXPECT_NO_THROW(env_empty.step(1));
 }
 
-TEST(EctHubEnv, SchedulersRunOnEmptyDiscountEnv) {
+TEST(EctHubEnv, PoliciesRunOnEmptyDiscountEnv) {
   EctHubEnv env(HubConfig::rural("nodisc", 56), small_env(2));
-  TouScheduler tou;
-  GreedyPriceScheduler greedy;
-  ForecastScheduler forecast;
-  for (Scheduler* sched : {static_cast<Scheduler*>(&tou), static_cast<Scheduler*>(&greedy),
-                           static_cast<Scheduler*>(&forecast)}) {
-    const auto profits = run_scheduler(env, *sched, 1);
+  policy::TouPolicy tou;
+  policy::GreedyPricePolicy greedy;
+  policy::ForecastPolicy forecast;
+  for (policy::Policy* pol :
+       {static_cast<policy::Policy*>(&tou), static_cast<policy::Policy*>(&greedy),
+        static_cast<policy::Policy*>(&forecast)}) {
+    const auto profits = run_policy(env, *pol, 1);
     ASSERT_EQ(profits.size(), 1u);
-    EXPECT_TRUE(std::isfinite(profits[0])) << sched->name();
+    EXPECT_TRUE(std::isfinite(profits[0])) << pol->name();
   }
 }
 
@@ -402,40 +406,46 @@ TEST(Profit, LedgerResetClearsTotalsAndDays) {
   EXPECT_EQ(ledger.daily_profit().size(), 2u);
 }
 
-// ---------------------------------------------------------------- schedulers
+// ------------------------------------------------------------------ policies
+//
+// The rule-based policies read the shared observation vector, never the env:
+// these tests drive them exactly the way run_policy / the fleet engine does,
+// tracking the state returned by reset()/step().
 
-TEST(Schedulers, NoBatteryAlwaysIdles) {
+TEST(Policies, NoBatteryAlwaysIdles) {
   EctHubEnv env(HubConfig::urban("t", 14), small_env());
-  env.reset();
-  NoBatteryScheduler sched;
-  EXPECT_EQ(sched.decide(env), 0u);
+  const std::vector<double> state = env.reset();
+  policy::NoBatteryPolicy pol;
+  EXPECT_EQ(pol.decide(state), 0u);
 }
 
-TEST(Schedulers, TouChargesOffPeakDischargesPeak) {
+TEST(Policies, TouChargesOffPeakDischargesPeak) {
   EctHubEnv env(HubConfig::urban("t", 15), small_env());
-  env.reset();
-  TouScheduler sched;
+  std::vector<double> state = env.reset();
+  policy::TouPolicy pol(env.observation_layout());
   // Walk the first day and collect decisions by hour.
   std::vector<std::size_t> by_hour(24, 99);
   bool done = false;
   while (!done && env.current_slot() < 24) {
     const auto hour = static_cast<std::size_t>(env.hour_of_day(env.current_slot()));
-    by_hour[hour] = sched.decide(env);
-    done = env.step(0).done;
+    by_hour[hour] = pol.decide(state);
+    rl::StepResult r = env.step(0);
+    state = std::move(r.next_state);
+    done = r.done;
   }
   EXPECT_EQ(by_hour[2], 1u);   // off-peak charge
   EXPECT_EQ(by_hour[18], 2u);  // peak discharge
   EXPECT_EQ(by_hour[12], 0u);  // shoulder idle
 }
 
-TEST(Schedulers, GreedyArbitrageBeatsNoBatteryOnAverage) {
+TEST(Policies, GreedyArbitrageBeatsNoBatteryOnAverage) {
   HubConfig hub = HubConfig::urban("t", 16);
   EctHubEnv env_a(hub, small_env(10));
   EctHubEnv env_b(hub, small_env(10));
-  GreedyPriceScheduler greedy;
-  NoBatteryScheduler none;
-  const auto greedy_profit = run_scheduler(env_a, greedy, 5);
-  const auto none_profit = run_scheduler(env_b, none, 5);
+  policy::GreedyPricePolicy greedy;
+  policy::NoBatteryPolicy none;
+  const auto greedy_profit = run_policy(env_a, greedy, 5);
+  const auto none_profit = run_policy(env_b, none, 5);
   double mg = 0, mn = 0;
   for (double p : greedy_profit) mg += p;
   for (double p : none_profit) mn += p;
@@ -443,57 +453,81 @@ TEST(Schedulers, GreedyArbitrageBeatsNoBatteryOnAverage) {
   EXPECT_GT(mg, mn - 1.0);
 }
 
-TEST(Schedulers, ForecastChargesCheapHoursDischargesExpensive) {
+TEST(Policies, ForecastChargesCheapHoursDischargesExpensive) {
   EctHubEnv env(HubConfig::urban("t", 21), small_env(10));
-  ForecastScheduler sched;
+  policy::ForecastPolicy pol(env.observation_layout());
   // Walk several days so the seasonal price curve is learned, then check the
   // decisions: early-morning trough hours should charge, evening peak hours
   // should discharge.
-  env.reset();
+  std::vector<double> state = env.reset();
+  pol.begin_episode();
   std::vector<std::size_t> last_day_decision(24, 99);
   bool done = false;
   while (!done) {
     const std::size_t t = env.current_slot();
     const auto hour = static_cast<std::size_t>(env.hour_of_day(t));
-    const std::size_t a = sched.decide(env);
+    const std::size_t a = pol.decide(state);
     if (t >= 9 * 24) last_day_decision[hour] = a;
-    done = env.step(a).done;
+    rl::StepResult r = env.step(a);
+    state = std::move(r.next_state);
+    done = r.done;
   }
   EXPECT_EQ(last_day_decision[3], 1u);   // night trough: charge
   EXPECT_EQ(last_day_decision[20], 2u);  // evening peak: discharge
 }
 
-TEST(Schedulers, ForecastBeatsNoBattery) {
+TEST(Policies, ForecastBeatsNoBattery) {
   HubConfig hub = HubConfig::rural("t", 22);
   EctHubEnv env_a(hub, small_env(15));
   EctHubEnv env_b(hub, small_env(15));
-  ForecastScheduler fc;
-  NoBatteryScheduler none;
-  const double fc_profit = stats::mean(run_scheduler(env_a, fc, 4));
-  const double none_profit = stats::mean(run_scheduler(env_b, none, 4));
+  policy::ForecastPolicy fc;
+  policy::NoBatteryPolicy none;
+  const double fc_profit = stats::mean(run_policy(env_a, fc, 4));
+  const double none_profit = stats::mean(run_policy(env_b, none, 4));
   EXPECT_GT(fc_profit, none_profit);
 }
 
-TEST(Schedulers, ForecastRejectsBadBands) {
-  EXPECT_THROW(ForecastScheduler(0.8, 0.2), std::invalid_argument);
+TEST(Policies, ForecastRejectsBadBands) {
+  EXPECT_THROW(policy::ForecastPolicy({}, 0.8, 0.2), std::invalid_argument);
 }
 
-TEST(Schedulers, RandomIsDeterministicPerSeed) {
+TEST(Policies, RandomIsDeterministicPerSeed) {
   EctHubEnv env(HubConfig::urban("t", 17), small_env());
-  env.reset();
-  RandomScheduler a(5), b(5);
-  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.decide(env), b.decide(env));
+  const std::vector<double> state = env.reset();
+  policy::RandomPolicy a(5), b(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.decide(state), b.decide(state));
 }
 
-TEST(Schedulers, RunSchedulerReturnsPerEpisodeProfits) {
+TEST(Policies, RunPolicyReturnsPerEpisodeProfits) {
   EctHubEnv env(HubConfig::urban("t", 18), small_env(2));
-  TouScheduler sched;
-  const auto profits = run_scheduler(env, sched, 3);
+  policy::TouPolicy pol;
+  const auto profits = run_policy(env, pol, 3);
   EXPECT_EQ(profits.size(), 3u);
   for (double p : profits) EXPECT_TRUE(std::isfinite(p));
 }
 
 // ---------------------------------------------------------------- fleet
+
+TEST(Fleet, ExportedActorMatchesTrainingPolicyDecisions) {
+  // DrlPolicy mirrors the actor path of rl::ActorCritic (same layer shapes,
+  // names *and* activations).  The two definitions live in different modules,
+  // so pin their functional parity: if either side's architecture drifts,
+  // the deployed greedy decisions stop matching the training-time ones here
+  // instead of silently skewing every fleet sweep.
+  rl::ActorCriticConfig ac_cfg;
+  ac_cfg.state_dim = 33;
+  ac_cfg.trunk_dim = 16;
+  ac_cfg.head_dim = 8;
+  nn::Rng init_rng(77);
+  rl::ActorCritic trained(ac_cfg, init_rng);
+  policy::DrlPolicy deployed(export_actor_checkpoint(trained));
+  Rng obs_rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> state(ac_cfg.state_dim);
+    for (double& x : state) x = obs_rng.uniform(0.0, 1.5);
+    EXPECT_EQ(deployed.decide(state), trained.act_greedy(state)) << "state " << i;
+  }
+}
 
 TEST(Fleet, AverageDailyReward) {
   EXPECT_NEAR(average_daily_reward({{1.0, 2.0}, {3.0}}), 2.0, 1e-12);

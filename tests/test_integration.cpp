@@ -1,10 +1,11 @@
 // Integration tests: the full pipeline wired end-to-end — dataset -> pricing
-// models -> discount schedules -> hub environment -> schedulers/PPO.
+// models -> discount schedules -> hub environment -> policies/PPO.
 #include "causal/ect_price.hpp"
 #include "causal/evaluate.hpp"
 #include "causal/uplift.hpp"
 #include "core/fleet.hpp"
-#include "core/schedulers.hpp"
+#include "core/policy_runner.hpp"
+#include "policy/rule_policies.hpp"
 #include "ev/dataset.hpp"
 
 #include <gtest/gtest.h>
@@ -81,8 +82,8 @@ TEST_F(PipelineFixture, ScheduleFeedsHubEnvironment) {
   env_cfg.episode_days = 5;
   env_cfg.discount_by_hour = schedule;
   core::EctHubEnv env(hub, env_cfg);
-  core::GreedyPriceScheduler sched;
-  const auto profits = core::run_scheduler(env, sched, 2);
+  policy::GreedyPricePolicy sched;
+  const auto profits = core::run_policy(env, sched, 2);
   EXPECT_EQ(profits.size(), 2u);
   for (double p : profits) EXPECT_TRUE(std::isfinite(p));
 }
@@ -153,8 +154,8 @@ TEST(Integration, UpliftBaselineDrivesPipelineToo) {
   env_cfg.episode_days = 3;
   env_cfg.discount_by_hour = schedule;
   core::EctHubEnv env(hub, env_cfg);
-  core::TouScheduler sched;
-  const auto profits = core::run_scheduler(env, sched, 1);
+  policy::TouPolicy sched;
+  const auto profits = core::run_policy(env, sched, 1);
   EXPECT_TRUE(std::isfinite(profits.front()));
 }
 

@@ -1,0 +1,247 @@
+// Tests for the unified Policy API: the observation layout contract, the
+// batched-vs-scalar equivalence of decide_batch() for every policy kind,
+// and the DrlPolicy checkpoint round trip.
+#include "common/rng.hpp"
+#include "policy/drl_policy.hpp"
+#include "policy/observation.hpp"
+#include "policy/rule_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <numbers>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecthub::policy {
+namespace {
+
+// Synthetic but layout-valid observation: random channel windows, random
+// SoC, exact phase encoding of `hour`.
+std::vector<double> fake_obs(const ObservationLayout& layout, Rng& rng, double hour) {
+  std::vector<double> obs(layout.dim());
+  for (std::size_t i = 0; i < layout.soc_index(); ++i) obs[i] = rng.uniform(0.0, 1.5);
+  obs[layout.soc_index()] = rng.uniform(0.0, 1.0);
+  obs[layout.hour_sin_index()] = std::sin(2.0 * std::numbers::pi * hour / 24.0);
+  obs[layout.hour_cos_index()] = std::cos(2.0 * std::numbers::pi * hour / 24.0);
+  return obs;
+}
+
+nn::Matrix fake_obs_batch(const ObservationLayout& layout, Rng& rng, std::size_t rows) {
+  nn::Matrix m(rows, layout.dim());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::vector<double> obs = fake_obs(layout, rng, static_cast<double>(r % 24));
+    for (std::size_t c = 0; c < obs.size(); ++c) m(r, c) = obs[c];
+  }
+  return m;
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(ObservationLayout, DimRoundTripsThroughFromDim) {
+  for (const std::size_t lookback : {1u, 3u, 6u, 12u}) {
+    const ObservationLayout layout{lookback};
+    EXPECT_EQ(ObservationLayout::from_dim(layout.dim()).lookback, lookback);
+  }
+  EXPECT_THROW((void)ObservationLayout::from_dim(0), std::invalid_argument);
+  EXPECT_THROW((void)ObservationLayout::from_dim(7), std::invalid_argument);
+  EXPECT_THROW((void)ObservationLayout::from_dim(34), std::invalid_argument);
+}
+
+TEST(ObservationLayout, DefaultMatchesHubEnvStateDim) {
+  // 5 channels x 6 lookback + SoC + hour phase — the EctHubEnv default.
+  EXPECT_EQ(ObservationLayout{}.dim(), 33u);
+}
+
+TEST(ObservationLayout, AccessorsDecodeTheEncodedFeatures) {
+  const ObservationLayout layout{2};
+  // [rtp0 rtp1 | ghi0 ghi1 | wind0 wind1 | traf0 traf1 | srtp0 srtp1 |
+  //  soc sin cos], newest value last within each window.
+  std::vector<double> obs = {0.5, 0.8, 0.1, 0.2, 0.3, 0.4, 0.6,
+                             0.7, 0.4, 0.9, 0.55, 0.0, 1.0};
+  ASSERT_EQ(obs.size(), layout.dim());
+  EXPECT_DOUBLE_EQ(layout.rtp(obs), 0.8 * ObservationLayout::kPriceScale);
+  EXPECT_DOUBLE_EQ(layout.srtp(obs), 0.9 * ObservationLayout::kPriceScale);
+  EXPECT_DOUBLE_EQ(layout.soc(obs), 0.55);
+  EXPECT_DOUBLE_EQ(layout.hour_of_day(obs), 0.0);
+}
+
+TEST(ObservationLayout, HourOfDaySurvivesThePhaseRoundTripExactly) {
+  const ObservationLayout layout;
+  Rng rng(7);
+  for (std::size_t h = 0; h < 24; ++h) {
+    const auto obs = fake_obs(layout, rng, static_cast<double>(h));
+    EXPECT_DOUBLE_EQ(layout.hour_of_day(obs), static_cast<double>(h)) << h;
+  }
+  // Sub-hour slots (e.g. 48 slots/day) decode too.
+  const auto obs = fake_obs(layout, rng, 13.5);
+  EXPECT_DOUBLE_EQ(layout.hour_of_day(obs), 13.5);
+}
+
+TEST(ObservationLayout, WrongSizeIsRejected) {
+  const ObservationLayout layout;
+  const std::vector<double> too_short(5, 0.0);
+  EXPECT_THROW((void)layout.soc(too_short), std::invalid_argument);
+}
+
+// -------------------------------------------------- batched-vs-scalar parity
+
+// For every policy kind, decide_batch(M) must equal the row-by-row decide()
+// sequence — the contract that makes lockstep fleets interchangeable with
+// per-hub execution.
+TEST(PolicyBatching, DecideBatchMatchesScalarForEveryKind) {
+  const ObservationLayout layout;
+  using Factory = std::function<std::unique_ptr<Policy>()>;
+  nn::Rng drl_rng(99);
+  DrlPolicyConfig drl_cfg;
+  drl_cfg.state_dim = layout.dim();
+  drl_cfg.trunk_dim = 16;
+  drl_cfg.head_dim = 8;
+  const DrlCheckpoint ckpt = DrlPolicy(drl_cfg, drl_rng).checkpoint();
+
+  const std::vector<Factory> factories = {
+      [&] { return std::make_unique<NoBatteryPolicy>(); },
+      [&] { return std::make_unique<TouPolicy>(layout); },
+      [&] { return std::make_unique<GreedyPricePolicy>(layout); },
+      [&] { return std::make_unique<ForecastPolicy>(layout); },
+      [&] { return std::make_unique<RandomPolicy>(42); },
+      [&] { return std::make_unique<DrlPolicy>(ckpt); },
+  };
+  for (const Factory& make : factories) {
+    Rng obs_rng(11);
+    const nn::Matrix obs = fake_obs_batch(layout, obs_rng, 40);
+    const auto scalar_pol = make();
+    const auto batch_pol = make();
+    std::vector<std::size_t> scalar_actions(obs.rows()), batch_actions(obs.rows());
+    const double* data = obs.data().data();
+    for (std::size_t i = 0; i < obs.rows(); ++i) {
+      scalar_actions[i] =
+          scalar_pol->decide(std::span<const double>(data + i * obs.cols(), obs.cols()));
+    }
+    batch_pol->decide_batch(obs, std::span<std::size_t>(batch_actions));
+    EXPECT_EQ(scalar_actions, batch_actions) << scalar_pol->name();
+    for (const std::size_t a : batch_actions) EXPECT_LT(a, 3u) << scalar_pol->name();
+  }
+}
+
+TEST(PolicyBatching, ActionSpanSizeMismatchThrows) {
+  const ObservationLayout layout;
+  Rng rng(3);
+  const nn::Matrix obs = fake_obs_batch(layout, rng, 4);
+  std::vector<std::size_t> too_few(3);
+  TouPolicy tou(layout);
+  EXPECT_THROW(tou.decide_batch(obs, std::span<std::size_t>(too_few)),
+               std::invalid_argument);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  nn::Rng drl_rng(5);
+  DrlPolicy drl(cfg, drl_rng);
+  EXPECT_THROW(drl.decide_batch(obs, std::span<std::size_t>(too_few)),
+               std::invalid_argument);
+}
+
+TEST(PolicyStatefulness, StatelessFlagsMatchTheImplementations) {
+  const ObservationLayout layout;
+  EXPECT_TRUE(NoBatteryPolicy().stateless());
+  EXPECT_TRUE(TouPolicy(layout).stateless());
+  EXPECT_FALSE(GreedyPricePolicy(layout).stateless());
+  EXPECT_FALSE(ForecastPolicy(layout).stateless());
+  EXPECT_FALSE(RandomPolicy(1).stateless());
+  nn::Rng rng(1);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  EXPECT_TRUE(DrlPolicy(cfg, rng).stateless());
+}
+
+TEST(PolicyStatefulness, GreedyWindowClearsAtEpisodeStart) {
+  const ObservationLayout layout;
+  Rng rng(17);
+  GreedyPricePolicy a(layout), b(layout);
+  // Feed `a` a first episode, then reset both and replay the same second
+  // episode: a's decisions must match the never-polluted b's exactly.
+  for (std::size_t t = 0; t < 30; ++t) {
+    (void)a.decide(fake_obs(layout, rng, static_cast<double>(t % 24)));
+  }
+  a.begin_episode();
+  b.begin_episode();
+  Rng replay(23);
+  for (std::size_t t = 0; t < 30; ++t) {
+    const auto obs = fake_obs(layout, replay, static_cast<double>(t % 24));
+    EXPECT_EQ(a.decide(obs), b.decide(obs)) << "slot " << t;
+  }
+}
+
+// ------------------------------------------------------------- DRL policy
+
+TEST(DrlPolicy, CheckpointRoundTripsThroughAStream) {
+  const ObservationLayout layout;
+  nn::Rng rng(321);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  cfg.trunk_dim = 24;
+  cfg.head_dim = 12;
+  DrlPolicy original(cfg, rng);
+
+  std::stringstream stream;
+  original.checkpoint().save(stream);
+  const DrlCheckpoint restored_ckpt = DrlCheckpoint::load(stream);
+  EXPECT_EQ(restored_ckpt.config.state_dim, cfg.state_dim);
+  EXPECT_EQ(restored_ckpt.config.trunk_dim, cfg.trunk_dim);
+  EXPECT_EQ(restored_ckpt.config.head_dim, cfg.head_dim);
+  DrlPolicy restored(restored_ckpt);
+
+  Rng obs_rng(55);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto obs = fake_obs(layout, obs_rng, static_cast<double>(i % 24));
+    EXPECT_EQ(original.decide(obs), restored.decide(obs)) << "obs " << i;
+  }
+}
+
+TEST(DrlPolicy, LoadRejectsGarbageAndMismatchedBlobs) {
+  std::istringstream garbage("not a checkpoint at all, sorry");
+  EXPECT_THROW((void)DrlCheckpoint::load(garbage), std::runtime_error);
+
+  // A blob serialized for one architecture must not load into another.
+  nn::Rng rng(9);
+  DrlPolicyConfig small;
+  small.state_dim = 33;
+  small.trunk_dim = 8;
+  small.head_dim = 4;
+  DrlCheckpoint ckpt = DrlPolicy(small, rng).checkpoint();
+  ckpt.config.trunk_dim = 16;  // lie about the shape
+  EXPECT_THROW((void)DrlPolicy{ckpt}, std::runtime_error);
+}
+
+TEST(DrlPolicy, ValidatesItsConfig) {
+  nn::Rng rng(1);
+  DrlPolicyConfig bad;
+  bad.state_dim = 0;
+  EXPECT_THROW((void)DrlPolicy(bad, rng), std::invalid_argument);
+  bad.state_dim = 10;
+  bad.action_count = 1;
+  EXPECT_THROW((void)DrlPolicy(bad, rng), std::invalid_argument);
+  bad.action_count = 3;
+  bad.trunk_dim = 0;
+  EXPECT_THROW((void)DrlPolicy(bad, rng), std::invalid_argument);
+}
+
+TEST(DrlPolicy, DecideRejectsWrongStateDim) {
+  nn::Rng rng(2);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = 33;
+  DrlPolicy pol(cfg, rng);
+  const std::vector<double> wrong(12, 0.0);
+  EXPECT_THROW((void)pol.decide(wrong), std::invalid_argument);
+  const nn::Matrix wrong_batch(2, 12);
+  std::vector<std::size_t> actions(2);
+  EXPECT_THROW(pol.decide_batch(wrong_batch, std::span<std::size_t>(actions)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecthub::policy

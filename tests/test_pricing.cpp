@@ -75,6 +75,25 @@ TEST(RtpGenerator, SpikesRaiseExtremes) {
   EXPECT_GT(stats::max(wild), stats::max(calm));
 }
 
+TEST(RtpGenerator, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const TimeGrid grid(3, 24);
+  const auto fresh = RtpGenerator(RtpConfig{}, Rng(41)).generate(grid);
+
+  RtpGenerator gen(RtpConfig{}, Rng(41));
+  std::vector<double> reused;
+  gen.generate_into(grid, {}, reused);
+  EXPECT_EQ(reused, fresh);
+
+  // A second pass must reuse the buffer (no realloc) and draw a fresh
+  // stochastic stream, not replay the first.
+  const double* buf = reused.data();
+  const double first_p0 = reused[0];
+  gen.generate_into(grid, {}, reused);
+  EXPECT_EQ(reused.data(), buf);
+  EXPECT_EQ(reused.size(), grid.size());
+  EXPECT_NE(reused[0], first_p0);
+}
+
 TEST(RtpGenerator, LoadLengthMismatchThrows) {
   RtpGenerator gen(RtpConfig{}, Rng(7));
   const TimeGrid grid(2, 24);

@@ -1,13 +1,17 @@
 // Tests for the multi-hub simulation engine: the scenario registry, the
-// deterministic per-hub seeding, the parallel fleet runner (the bit-identity
-// contract every future sharding/batching PR depends on), and the aggregate
-// report arithmetic.
+// per-scenario golden corpus, the deterministic per-hub seeding, the policy
+// factory, the parallel fleet runner and its lockstep-batched twin (the
+// bit-identity contract every future sharding/batching PR depends on), and
+// the aggregate report arithmetic.
+#include "policy/drl_policy.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -21,6 +25,18 @@ std::vector<FleetJob> make_jobs(std::size_t n, std::size_t days = 2,
                                 SchedulerKind sched = SchedulerKind::kGreedyPrice) {
   const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
   return make_fleet_jobs(registry, registry.keys(), n, days, sched);
+}
+
+// A small randomly-initialized actor checkpoint matching the default hub
+// observation layout — training is irrelevant for execution-path identity.
+std::shared_ptr<const policy::DrlCheckpoint> tiny_checkpoint(std::size_t state_dim = 0) {
+  nn::Rng rng(123);
+  policy::DrlPolicyConfig cfg;
+  cfg.state_dim = state_dim == 0 ? policy::ObservationLayout{}.dim() : state_dim;
+  cfg.trunk_dim = 16;
+  cfg.head_dim = 8;
+  policy::DrlPolicy actor(cfg, rng);
+  return std::make_shared<policy::DrlCheckpoint>(actor.checkpoint());
 }
 
 std::vector<HubRunResult> run_fleet(const std::vector<FleetJob>& jobs, std::size_t threads,
@@ -94,6 +110,66 @@ TEST(ScenarioRegistry, PresetsDifferWhereItMatters) {
             reg.make_hub("rural", "h", 1).battery.capacity_kwh);
 }
 
+// ------------------------------------------------------------ golden corpus
+
+// Golden checksums for every built-in scenario preset: hub "golden", seed
+// 4242, one 2-day episode under the scenario's own discount schedule.  If
+// any value changes, the preset or the episode generators drifted — every
+// stored sweep comparison and figure changes with it.  Regenerate
+// deliberately (print the sums at %.17g) or fix the drift.
+struct GoldenScenario {
+  const char* key;
+  double rtp_sum;
+  double srtp_sum;
+  double renewable_sum;
+  double bs_sum;
+  double cs_sum;
+  double soc0;
+};
+
+TEST(ScenarioGolden, FixedSeedPinsEveryPreset) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const GoldenScenario golden[] = {
+      {"blackout-prone", 4422.8543568678506, 8182.2805602055214, 43.887883932540582,
+       107.9055819122873, 129.60000000000002, 0.61776257063720164},
+      {"heatwave", 4428.2849770388948, 7767.0694802434637, 51.094910293962094,
+       132.62810150114856, 144.0, 0.61776257063720164},
+      {"high-renewables", 4424.9477848423494, 8186.1534019583432, 624.53472962883586,
+       108.11492470973729, 143.0, 0.61776257063720164},
+      {"price-spike", 4975.0754927678645, 8924.0408095788644, 30.985610570435121,
+       107.9055819122873, 129.60000000000002, 0.61776257063720164},
+      {"rural", 4424.9477848423494, 8186.1534019583432, 247.04302255018914,
+       108.11492470973729, 143.0, 0.61776257063720164},
+      {"urban", 4422.8543568678506, 7757.0228329270312, 30.985610570435121,
+       107.9055819122873, 144.0, 0.61776257063720164},
+  };
+  const auto sum = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return s;
+  };
+  ASSERT_EQ(std::size(golden), reg.size());
+  for (const GoldenScenario& g : golden) {
+    const Scenario& scenario = reg.at(g.key);
+    core::HubEnvConfig env_cfg = scenario.env;
+    env_cfg.episode_days = 2;
+    core::EctHubEnv env(reg.make_hub(g.key, "golden", 4242), env_cfg);
+    env.reset();
+    ASSERT_EQ(env.slots_per_episode(), 48u) << g.key;
+    double rtp = 0.0, srtp = 0.0;
+    for (std::size_t t = 0; t < 48; ++t) {
+      rtp += env.rtp_at(t);
+      srtp += env.srtp_at(t);
+    }
+    EXPECT_DOUBLE_EQ(rtp, g.rtp_sum) << g.key;
+    EXPECT_DOUBLE_EQ(srtp, g.srtp_sum) << g.key;
+    EXPECT_DOUBLE_EQ(sum(env.renewable_series()), g.renewable_sum) << g.key;
+    EXPECT_DOUBLE_EQ(sum(env.bs_power_series()), g.bs_sum) << g.key;
+    EXPECT_DOUBLE_EQ(sum(env.cs_power_series()), g.cs_sum) << g.key;
+    EXPECT_DOUBLE_EQ(env.soc_frac(), g.soc0) << g.key;
+  }
+}
+
 // ------------------------------------------------------------ seeding
 
 TEST(MixSeed, DistinctAcrossHubsAndBases) {
@@ -104,18 +180,52 @@ TEST(MixSeed, DistinctAcrossHubsAndBases) {
   EXPECT_EQ(mix_seed(7, 3), mix_seed(7, 3));
 }
 
-// ------------------------------------------------------------ schedulers
+// ------------------------------------------------------------ policy factory
 
-TEST(SchedulerFactory, NamesRoundTrip) {
-  for (const auto kind :
-       {SchedulerKind::kNoBattery, SchedulerKind::kTou, SchedulerKind::kGreedyPrice,
-        SchedulerKind::kForecast, SchedulerKind::kRandom}) {
+TEST(PolicyFactory, NamesRoundTripForEveryKind) {
+  const auto ckpt = tiny_checkpoint();
+  EXPECT_EQ(all_scheduler_kinds().size(), 6u);
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
     EXPECT_EQ(scheduler_kind_from_string(to_string(kind)), kind);
-    const auto sched = make_scheduler(kind, 42);
-    ASSERT_NE(sched, nullptr);
-    EXPECT_FALSE(sched->name().empty());
+    const auto pol = make_policy(kind, 42, policy::ObservationLayout{},
+                                 kind == SchedulerKind::kDrl ? ckpt : nullptr);
+    ASSERT_NE(pol, nullptr);
+    EXPECT_FALSE(pol->name().empty());
   }
   EXPECT_THROW((void)scheduler_kind_from_string("ppo2"), std::invalid_argument);
+}
+
+TEST(PolicyFactory, ParseIsCaseInsensitive) {
+  EXPECT_EQ(scheduler_kind_from_string("TOU"), SchedulerKind::kTou);
+  EXPECT_EQ(scheduler_kind_from_string("Drl"), SchedulerKind::kDrl);
+  EXPECT_EQ(scheduler_kind_from_string("GREEDY"), SchedulerKind::kGreedyPrice);
+  EXPECT_EQ(scheduler_kind_from_string("ForeCast"), SchedulerKind::kForecast);
+  EXPECT_EQ(scheduler_kind_from_string("NONE"), SchedulerKind::kNoBattery);
+  EXPECT_EQ(scheduler_kind_from_string("Random"), SchedulerKind::kRandom);
+}
+
+TEST(PolicyFactory, ParseErrorListsEveryValidName) {
+  try {
+    (void)scheduler_kind_from_string("atlantis");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("atlantis"), std::string::npos);
+    for (const SchedulerKind kind : all_scheduler_kinds()) {
+      EXPECT_NE(msg.find(to_string(kind)), std::string::npos) << to_string(kind);
+    }
+  }
+}
+
+TEST(PolicyFactory, DrlRequiresMatchingCheckpoint) {
+  const policy::ObservationLayout layout;  // dim 33
+  EXPECT_THROW((void)make_policy(SchedulerKind::kDrl, 1, layout, nullptr),
+               std::invalid_argument);
+  // A checkpoint trained for a different observation shape must be rejected.
+  const auto mismatched = tiny_checkpoint(policy::ObservationLayout{3}.dim());
+  EXPECT_THROW((void)make_policy(SchedulerKind::kDrl, 1, layout, mismatched),
+               std::invalid_argument);
+  EXPECT_NE(make_policy(SchedulerKind::kDrl, 1, layout, tiny_checkpoint()), nullptr);
 }
 
 TEST(FleetJobs, MakeFleetJobsCyclesScenarios) {
@@ -132,6 +242,16 @@ TEST(FleetJobs, MakeFleetJobsCyclesScenarios) {
                std::invalid_argument);
   EXPECT_THROW((void)make_fleet_jobs(reg, {"atlantis"}, 1, 3, SchedulerKind::kTou),
                std::out_of_range);
+}
+
+TEST(FleetJobs, CheckpointIsAttachedToEveryJob) {
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto ckpt = tiny_checkpoint();
+  const auto jobs = make_fleet_jobs(reg, {"urban"}, 3, 2, SchedulerKind::kDrl, ckpt);
+  for (const FleetJob& job : jobs) {
+    EXPECT_EQ(job.scheduler, SchedulerKind::kDrl);
+    EXPECT_EQ(job.checkpoint.get(), ckpt.get());
+  }
 }
 
 // ------------------------------------------------------------ fleet runner
@@ -214,6 +334,74 @@ TEST(FleetRunner, EmptyJobListAndBadConfig) {
   EXPECT_TRUE(FleetRunner(cfg).run({}).empty());
   cfg.episodes_per_hub = 0;
   EXPECT_THROW(FleetRunner{cfg}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ lockstep
+
+void expect_results_bit_identical(const std::vector<HubRunResult>& a,
+                                  const std::vector<HubRunResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hub_id, b[i].hub_id);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].scheduler, b[i].scheduler);
+    EXPECT_EQ(a[i].profit, b[i].profit) << "hub " << i;
+    EXPECT_EQ(a[i].revenue, b[i].revenue) << "hub " << i;
+    EXPECT_EQ(a[i].grid_cost, b[i].grid_cost) << "hub " << i;
+    EXPECT_EQ(a[i].bp_cost, b[i].bp_cost) << "hub " << i;
+    EXPECT_EQ(a[i].episode_profit, b[i].episode_profit) << "hub " << i;
+    EXPECT_EQ(a[i].soc.first, b[i].soc.first) << "hub " << i;
+    EXPECT_EQ(a[i].soc.last, b[i].soc.last) << "hub " << i;
+    EXPECT_EQ(a[i].soc.checksum, b[i].soc.checksum) << "hub " << i;
+    EXPECT_EQ(a[i].soc.samples, b[i].soc.samples) << "hub " << i;
+  }
+}
+
+TEST(FleetRunnerLockstep, BitIdenticalToPerHubAcrossAllKinds) {
+  // The acceptance criterion of the lockstep engine: every scheduler kind —
+  // shared-batched stateless policies (none/tou/drl) and per-hub stateful
+  // ones (greedy/forecast/random) side by side in one fleet — produces the
+  // same ledgers to the last bit as the per-hub threaded path.
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto ckpt = tiny_checkpoint();
+  std::vector<FleetJob> jobs;
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const auto batch =
+        make_fleet_jobs(reg, reg.keys(), 3, 2, kind,
+                        kind == SchedulerKind::kDrl ? ckpt : nullptr);
+    jobs.insert(jobs.end(), batch.begin(), batch.end());
+  }
+  FleetRunnerConfig cfg;
+  cfg.threads = 4;
+  cfg.episodes_per_hub = 2;  // exercise mid-lockstep episode turnover
+  const FleetRunner runner(cfg);
+  const auto per_hub = runner.run(jobs);
+  const auto lockstep = runner.run_lockstep(jobs);
+  expect_results_bit_identical(per_hub, lockstep);
+}
+
+TEST(FleetRunnerLockstep, DrlFleetRunsOneSharedActor) {
+  // A pure ECT-DRL fleet: all hubs batch through one policy instance, and
+  // the run matches the per-hub path exactly.
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto ckpt = tiny_checkpoint();
+  const auto jobs =
+      make_fleet_jobs(reg, reg.keys(), 8, 2, SchedulerKind::kDrl, ckpt);
+  FleetRunnerConfig cfg;
+  cfg.threads = 2;
+  const FleetRunner runner(cfg);
+  const auto per_hub = runner.run(jobs);
+  const auto lockstep = runner.run_lockstep(jobs);
+  expect_results_bit_identical(per_hub, lockstep);
+  for (const HubRunResult& r : lockstep) {
+    EXPECT_EQ(r.scheduler, SchedulerKind::kDrl);
+    ASSERT_EQ(r.episode_profit.size(), 1u);
+    EXPECT_TRUE(std::isfinite(r.profit));
+  }
+}
+
+TEST(FleetRunnerLockstep, EmptyJobList) {
+  EXPECT_TRUE(FleetRunner(FleetRunnerConfig{}).run_lockstep({}).empty());
 }
 
 TEST(FleetRunner, WorkerExceptionsPropagate) {

@@ -159,6 +159,26 @@ TEST(TrafficGenerator, RejectsBadConfig) {
   EXPECT_THROW(TrafficGenerator(bad3, Rng(1)), std::invalid_argument);
 }
 
+TEST(TrafficGenerator, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const TimeGrid grid(3, 24);
+  const TrafficTrace fresh = TrafficGenerator(TrafficConfig{}, Rng(31)).generate(grid);
+
+  TrafficGenerator gen(TrafficConfig{}, Rng(31));
+  TrafficTrace reused;
+  gen.generate_into(grid, reused);
+  EXPECT_EQ(reused.load_rate, fresh.load_rate);
+  EXPECT_EQ(reused.volume_gb, fresh.volume_gb);
+
+  // A second pass into the same trace must reuse the buffers (no realloc)
+  // and draw a fresh stochastic stream, not replay the first.
+  const double* load_buf = reused.load_rate.data();
+  const double first_load0 = reused.load_rate[0];
+  gen.generate_into(grid, reused);
+  EXPECT_EQ(reused.load_rate.data(), load_buf);
+  EXPECT_EQ(reused.load_rate.size(), grid.size());
+  EXPECT_NE(reused.load_rate[0], first_load0);
+}
+
 class AllAreasTest : public ::testing::TestWithParam<AreaType> {};
 
 TEST_P(AllAreasTest, GeneratesValidTraceForEveryArchetype) {
