@@ -11,7 +11,17 @@
 // (one matrix-matrix forward across all hubs per slot), both end-to-end and
 // as a pure-inference microbenchmark, again cross-checking bit-identity.
 //
-//   $ ./bench_fleet [--hubs 32] [--days 4] [--episodes 1]
+// Part 3 sweeps --threads-list over run_lockstep's worker crew
+// (lockstep_threads): env stepping shards across the barrier-synchronized
+// workers while inference stays one GEMM per slot — thread x batch
+// parallelism on one fleet, still bit-identical to the per-hub reference.
+// The sweep runs the rule-policy fleet, where stepping is the entire slot
+// cost; an ECT-DRL fleet's threaded speedup is Amdahl-bounded by the
+// (serial, already-batched) GEMM share measured in part 2.  Wall-clock
+// scaling needs real cores — the table prints hardware_concurrency so a
+// flat curve on a 1-core box reads as the environment, not a regression.
+//
+//   $ ./bench_fleet [--hubs 64] [--days 4] [--episodes 1]
 //                   [--threads-list 1,2,4,8] [--base-seed 7]
 //                   [--drl-iters 3] [--inference-reps 200]
 #include "common/cli.hpp"
@@ -30,6 +40,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -74,7 +85,7 @@ int main(int argc, char** argv) {
     }
     return static_cast<std::size_t>(v);
   };
-  const std::size_t hubs = require_positive("hubs", 32);
+  const std::size_t hubs = require_positive("hubs", 64);
   const std::size_t days = require_positive("days", 4);
   const std::size_t episodes = require_positive("episodes", 1);
   const std::size_t drl_iters = require_positive("drl-iters", 3);
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
     sim::FleetRunnerConfig cfg;
     cfg.base_seed = base_seed;
     cfg.threads = threads;
+    cfg.lockstep_threads = lockstep ? threads : 1;
     cfg.episodes_per_hub = episodes;
     const sim::FleetRunner runner(cfg);
     const auto start = std::chrono::steady_clock::now();
@@ -213,5 +225,38 @@ int main(int argc, char** argv) {
               << " reps ---\n";
     micro.print(std::cout);
   }
+
+  // --- Part 3: threaded lockstep — env stepping sharded across the crew ---
+  // The heuristic fleet from part 1 in lockstep at each worker count: env
+  // stepping (the entire slot cost for rule policies) shards across the
+  // barrier-synchronized workers.  Every row must reproduce the per-hub
+  // reference bit for bit.
+  std::cout << "\n=== Threaded lockstep scaling: " << hubs << " hubs, "
+            << to_string(jobs.front().scheduler) << " fleet, "
+            << std::thread::hardware_concurrency() << " hardware core(s) ===\n";
+  std::vector<sim::HubRunResult> lockstep_serial;
+  const double lockstep_serial_ms = timed_run(jobs, 1, true, lockstep_serial);
+  if (!results_identical(lockstep_serial, reference)) {
+    std::cerr << "DETERMINISM VIOLATION: lockstep differs from per-hub\n";
+    return 1;
+  }
+  TextTable scaling({"lockstep threads", "wall ms", "kslots/s", "speedup", "bit-identical"});
+  for (const std::size_t threads : thread_list) {
+    std::vector<sim::HubRunResult> results;
+    const double ms = timed_run(jobs, threads, true, results);
+    const bool identical = results_identical(results, reference);
+    scaling.begin_row()
+        .add_int(static_cast<long long>(threads))
+        .add_double(ms, 1)
+        .add_double(static_cast<double>(hubs * slots) / ms, 1)
+        .add_double(lockstep_serial_ms / ms, 2)
+        .add(identical ? "yes" : "NO");
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION at " << threads << " lockstep threads\n";
+      scaling.print(std::cout);
+      return 1;
+    }
+  }
+  scaling.print(std::cout);
   return 0;
 }

@@ -27,4 +27,16 @@ cmake --build "${PREFIX}-asan" -j "${JOBS}"
 UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
+# Job 4 rebuilds under ThreadSanitizer and runs the sim-engine suite (the
+# threaded per-hub runner and the barrier-synchronized lockstep crew) plus
+# the DRL lockstep smoke, so every push exercises the lockstep barriers
+# under TSan as well as ASan.
+echo "==> Job 4: TSan lockstep (test_sim + DRL lockstep smoke)"
+cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
+  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|AggregateReport|city_sweep_drl' \
+  --output-on-failure --no-tests=error -j "${JOBS}"
+
 echo "==> CI green"

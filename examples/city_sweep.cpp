@@ -17,8 +17,13 @@
 //   $ ./city_sweep --hubs-per-scenario 8 --threads 8 --scheduler forecast
 //   $ ./city_sweep --scenarios urban,price-spike --days 7 --episodes 2
 //   $ ./city_sweep --scheduler all --lockstep       # 5 heuristics + ECT-DRL
+//   $ ./city_sweep --scheduler drl --lockstep --lockstep-threads 8
 //   $ ./city_sweep --scheduler drl --drl-checkpoint actor.ckpt --drl-iters 8
 //   $ ./city_sweep --list                           # show the registry
+//
+// --lockstep-threads N shards the lockstep env-stepping phases across N
+// workers (0 = hardware concurrency) and implies --lockstep; results are
+// bit-identical at any thread count.
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
@@ -119,7 +124,11 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("threads", 0)));  // 0 = hardware concurrency
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
-  const bool lockstep = flags.get_bool("lockstep");
+  // An explicit --lockstep-threads would be silently ignored by the per-hub
+  // path, so it implies --lockstep.
+  const bool lockstep = flags.get_bool("lockstep") || flags.has("lockstep-threads");
+  const auto lockstep_threads = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, flags.get_int("lockstep-threads", 1)));  // 0 = hardware concurrency
 
   const std::string scheduler_arg = flags.get_string("scheduler", "tou");
   std::vector<sim::SchedulerKind> kinds;
@@ -156,13 +165,20 @@ int main(int argc, char** argv) {
   sim::FleetRunnerConfig runner_cfg;
   runner_cfg.base_seed = base_seed;
   runner_cfg.threads = threads;
+  runner_cfg.lockstep_threads = lockstep_threads;
   runner_cfg.episodes_per_hub = episodes;
   const sim::FleetRunner runner(runner_cfg);
 
   std::cout << "=== City sweep: " << expanded.size() << " hubs, " << scenario_keys.size()
             << " scenarios, " << episodes << " episode(s) x " << days
-            << " day(s), scheduler=" << scheduler_arg
-            << (lockstep ? ", lockstep-batched" : "") << " ===\n\n";
+            << " day(s), scheduler=" << scheduler_arg;
+  if (lockstep) {
+    std::cout << ", lockstep-batched ("
+              << (lockstep_threads == 0 ? std::string("hw")
+                                        : std::to_string(lockstep_threads))
+              << " thread(s))";
+  }
+  std::cout << " ===\n\n";
 
   std::vector<sim::HubRunResult> results;
   for (const sim::SchedulerKind kind : kinds) {

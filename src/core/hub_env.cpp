@@ -42,6 +42,11 @@ EctHubEnv::EctHubEnv(HubConfig hub, HubEnvConfig env_cfg)
   if (hub_.recovery_hours < 0.0) {
     throw std::invalid_argument("HubConfig: recovery_hours < 0");
   }
+  // The station's behaviour profile is a pure function of the hub config, so
+  // it is built once here (also validating it eagerly) rather than per reset.
+  station_.emplace(hub_.station,
+                   ev::StrataProfile(hub_.ev_popularity, hub_.ev_evening_sensitivity,
+                                     hub_.ev_evening_commuter));
 }
 
 std::size_t EctHubEnv::state_dim() const { return observation_layout().dim(); }
@@ -64,20 +69,18 @@ void EctHubEnv::generate_episode() {
   bs_kw_.resize(grid.size());
   for (std::size_t t = 0; t < grid.size(); ++t) bs_kw_[t] = bs.power_kw(load_rate[t]);
 
-  // Weather -> renewables.
+  // Weather -> renewables, regenerated into the reused episode buffers.
   weather::WeatherGenerator wx_gen(hub_.weather, rng_.fork());
-  const weather::WeatherSeries wx = wx_gen.generate(grid);
+  wx_gen.generate_into(grid, wx_);
   const renewables::RenewablePlant plant(hub_.plant);
-  renewables::GenerationSeries gen = plant.generate(wx);
-  ghi_ = wx.ghi_wm2;
-  wind_ = wx.wind_speed_ms;
-  pv_kw_ = std::move(gen.pv_w);
-  wt_kw_ = std::move(gen.wt_w);
-  // Plant model reports watts; the hub works in kW.
-  for (double& p : pv_kw_) p /= 1000.0;
-  for (double& p : wt_kw_) p /= 1000.0;
-  renewable_kw_.assign(grid.size(), 0.0);
+  plant.generate_into(wx_, gen_);
+  pv_kw_.resize(grid.size());
+  wt_kw_.resize(grid.size());
+  renewable_kw_.resize(grid.size());
   for (std::size_t t = 0; t < grid.size(); ++t) {
+    // Plant model reports watts; the hub works in kW.
+    pv_kw_[t] = gen_.pv_w[t] / 1000.0;
+    wt_kw_[t] = gen_.wt_w[t] / 1000.0;
     renewable_kw_[t] = pv_kw_[t] + wt_kw_[t];
   }
 
@@ -85,25 +88,25 @@ void EctHubEnv::generate_episode() {
   pricing::RtpGenerator rtp_gen(hub_.rtp, rng_.fork());
   rtp_gen.generate_into(grid, load_rate, rtp_);
 
-  discounted_.assign(grid.size(), false);
-  if (!cfg_.discount_by_hour.empty()) {
-    for (std::size_t t = 0; t < grid.size(); ++t) {
-      const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
-      discounted_[t] = cfg_.discount_by_hour[hour % 24];
+  // The discount flags depend only on the grid and the (fixed) hour
+  // schedule, so the flags and the selling-price policy are built once at
+  // the first reset and reused for every later episode.
+  if (!selling_) {
+    discounted_.assign(grid.size(), false);
+    if (!cfg_.discount_by_hour.empty()) {
+      for (std::size_t t = 0; t < grid.size(); ++t) {
+        const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
+        discounted_[t] = cfg_.discount_by_hour[hour % 24];
+      }
     }
+    selling_.emplace(hub_.selling, pricing::DiscountSchedule::from_flags(
+                                       discounted_, cfg_.discount_fraction));
   }
-  const pricing::SellingPricePolicy selling(
-      hub_.selling,
-      pricing::DiscountSchedule::from_flags(discounted_, cfg_.discount_fraction));
-  srtp_ = selling.series(rtp_);
+  selling_->series_into(rtp_, srtp_);
 
   // EV occupancy under the discount schedule.
-  const ev::StrataProfile profile(hub_.ev_popularity, hub_.ev_evening_sensitivity,
-                                  hub_.ev_evening_commuter);
-  const ev::ChargingStation station(hub_.station, profile);
   Rng ev_rng = rng_.fork();
-  ev::OccupancySeries occ = station.simulate(grid, discounted_, ev_rng);
-  cs_kw_ = std::move(occ.power_kw);
+  station_->simulate_into(grid, discounted_, ev_rng, occ_);
 
   // Battery with the Eq. 6 blackout reserve floor, re-emplaced in place (no
   // per-reset heap allocation).
@@ -126,39 +129,62 @@ void EctHubEnv::generate_episode() {
   episode_ready_ = true;
 }
 
-std::vector<double> EctHubEnv::observe() const {
+void EctHubEnv::observe_into(std::span<double> out) const {
   // Channel order, window ordering (oldest -> newest) and scales are the
   // ObservationLayout contract; policies decode through the same struct.
-  std::vector<double> state;
-  state.reserve(state_dim());
+  if (!episode_ready_) throw std::logic_error("EctHubEnv::observe_into before reset");
+  if (out.size() != state_dim()) {
+    throw std::invalid_argument("EctHubEnv::observe_into: buffer size != state_dim()");
+  }
+  std::size_t pos = 0;
   const auto window = [&](const std::vector<double>& series, double scale) {
     for (std::size_t k = cfg_.lookback; k-- > 0;) {
       // Slots t-k .. t; pad the episode start with the first value.
       const std::size_t idx = t_ >= k ? t_ - k : 0;
-      state.push_back(series[idx] / scale);
+      out[pos++] = series[idx] / scale;
     }
   };
   window(rtp_, ObservationLayout::kPriceScale);
-  window(ghi_, ObservationLayout::kGhiScale);
-  window(wind_, ObservationLayout::kWindScale);
+  window(wx_.ghi_wm2, ObservationLayout::kGhiScale);
+  window(wx_.wind_speed_ms, ObservationLayout::kWindScale);
   window(traffic_.load_rate, 1.0);
   window(srtp_, ObservationLayout::kPriceScale);
-  state.push_back(pack_->soc_frac());
+  out[pos++] = pack_->soc_frac();
   const double hour = hour_of_day(t_);
-  state.push_back(std::sin(2.0 * std::numbers::pi * hour / 24.0));
-  state.push_back(std::cos(2.0 * std::numbers::pi * hour / 24.0));
-  return state;
+  out[pos++] = std::sin(2.0 * std::numbers::pi * hour / 24.0);
+  out[pos] = std::cos(2.0 * std::numbers::pi * hour / 24.0);
 }
 
 std::vector<double> EctHubEnv::reset() {
+  std::vector<double> state(state_dim());
+  reset_into(state);
+  return state;
+}
+
+void EctHubEnv::reset_into(std::span<double> state) {
+  if (state.size() != state_dim()) {
+    throw std::invalid_argument("EctHubEnv::reset_into: buffer size != state_dim()");
+  }
   generate_episode();
-  return observe();
+  observe_into(state);
 }
 
 rl::StepResult EctHubEnv::step(std::size_t action) {
+  rl::StepResult result;
+  result.next_state.resize(state_dim());
+  const StepOutcome outcome = step_into(action, result.next_state);
+  result.reward = outcome.reward;
+  result.done = outcome.done;
+  return result;
+}
+
+StepOutcome EctHubEnv::step_into(std::size_t action, std::span<double> next_state) {
   if (!episode_ready_) throw std::logic_error("EctHubEnv::step before reset");
   if (action >= action_count()) throw std::invalid_argument("EctHubEnv::step: bad action");
   if (t_ >= slots_per_episode()) throw std::logic_error("EctHubEnv::step after episode end");
+  if (next_state.size() != state_dim()) {
+    throw std::invalid_argument("EctHubEnv::step_into: buffer size != state_dim()");
+  }
 
   const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
   const double dt = grid.slot_hours();
@@ -168,34 +194,35 @@ rl::StepResult EctHubEnv::step(std::size_t action) {
   if (action == 2) bp_action = battery::BpAction::kDischarge;
   // Discharge is throttled to the hub's net load: the DC bus cannot absorb
   // more than BS + CS demand net of renewables, and there is no grid feed-in.
+  const double cs_kw = occ_.power_kw[t_];
   const double net_load_kw =
-      std::max(0.0, bs_kw_[t_] + cs_kw_[t_] - wt_kw_[t_] - pv_kw_[t_]);
+      std::max(0.0, bs_kw_[t_] + cs_kw - wt_kw_[t_] - pv_kw_[t_]);
   const battery::BpStepResult bp = pack_->step(bp_action, dt, net_load_kw);
 
-  const power::PowerFlow flow{bs_kw_[t_], cs_kw_[t_], bp.bus_power_kw, wt_kw_[t_], pv_kw_[t_]};
+  const power::PowerFlow flow{bs_kw_[t_], cs_kw, bp.bus_power_kw, wt_kw_[t_], pv_kw_[t_]};
   const SlotEconomics econ =
       slot_economics(flow.cs_kw, flow.grid_kw(), srtp_[t_], rtp_[t_], bp.op_cost, dt);
   ledger_.record(econ);
 
   double reward = econ.profit();
   if (cfg_.shaped_reward) {
-    const power::PowerFlow idle_flow{bs_kw_[t_], cs_kw_[t_], 0.0, wt_kw_[t_], pv_kw_[t_]};
+    const power::PowerFlow idle_flow{bs_kw_[t_], cs_kw, 0.0, wt_kw_[t_], pv_kw_[t_]};
     const SlotEconomics idle_econ =
         slot_economics(idle_flow.cs_kw, idle_flow.grid_kw(), srtp_[t_], rtp_[t_], 0.0, dt);
     reward = econ.profit() - idle_econ.profit();
   }
 
   ++t_;
-  rl::StepResult result;
-  result.reward = reward;
-  result.done = t_ >= slots_per_episode();
-  if (!result.done) {
-    result.next_state = observe();
+  StepOutcome outcome;
+  outcome.reward = reward;
+  outcome.done = t_ >= slots_per_episode();
+  if (!outcome.done) {
+    observe_into(next_state);
   } else {
-    result.next_state.assign(state_dim(), 0.0);
+    std::fill(next_state.begin(), next_state.end(), 0.0);
     episode_ready_ = false;
   }
-  return result;
+  return outcome;
 }
 
 }  // namespace ecthub::core

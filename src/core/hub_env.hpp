@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace ecthub::core {
@@ -46,6 +47,12 @@ struct HubEnvConfig {
   bool shaped_reward = true;
 };
 
+/// Reward / termination of one allocation-free step (EctHubEnv::step_into).
+struct StepOutcome {
+  double reward = 0.0;
+  bool done = false;
+};
+
 class EctHubEnv final : public rl::Env {
  public:
   /// Validates both configurations eagerly (including the battery pack, so a
@@ -57,6 +64,26 @@ class EctHubEnv final : public rl::Env {
 
   std::vector<double> reset() override;
   rl::StepResult step(std::size_t action) override;
+
+  // ---- Allocation-free fast path ----------------------------------------
+  // reset() / step() are thin wrappers over these; fleet runners drive the
+  // *_into overloads with one persistent state buffer per hub, so after the
+  // first episode (warm-up) an episode costs zero heap allocations end to
+  // end — generators regenerate in place, the observation is written in
+  // place, and the battery/ledger live in place.
+
+  /// Writes the current observation (exactly what reset()/step() return)
+  /// into `out`; out.size() must equal state_dim().
+  void observe_into(std::span<double> out) const;
+
+  /// reset() without the return-value allocation: regenerates the episode
+  /// and writes the initial observation into `state`.
+  void reset_into(std::span<double> state);
+
+  /// step() without the StepResult allocation: applies `action`, writes the
+  /// next observation into `next_state` (zero-filled when the episode ends)
+  /// and returns the reward/done pair.  Bit-identical to step().
+  StepOutcome step_into(std::size_t action, std::span<double> next_state);
 
   [[nodiscard]] std::size_t state_dim() const override;
   [[nodiscard]] std::size_t action_count() const override { return 3; }
@@ -83,34 +110,36 @@ class EctHubEnv final : public rl::Env {
 
   /// Per-slot series of the current episode (valid after reset()).
   [[nodiscard]] const std::vector<double>& bs_power_series() const { return bs_kw_; }
-  [[nodiscard]] const std::vector<double>& cs_power_series() const { return cs_kw_; }
+  [[nodiscard]] const std::vector<double>& cs_power_series() const { return occ_.power_kw; }
   [[nodiscard]] const std::vector<double>& renewable_series() const { return renewable_kw_; }
 
  private:
   [[nodiscard]] static HubEnvConfig validated(HubEnvConfig cfg);
-  [[nodiscard]] std::vector<double> observe() const;
   void generate_episode();
 
   HubConfig hub_;
   HubEnvConfig cfg_;
   Rng rng_;
 
-  // Episode series.  Regenerated at each reset *in place*: the vectors keep
-  // their capacity across episodes, and the traffic/RTP generators write
-  // through their generate_into() overloads, so after the first reset an
-  // episode costs no heap allocation on the traffic or price paths.
+  // Episode series.  Regenerated at each reset *in place*: every buffer
+  // keeps its capacity across episodes and every generator writes through
+  // its generate_into()/simulate_into() overload, so after the first reset
+  // an episode costs no heap allocation anywhere on the reset or step path
+  // (tests/test_alloc.cpp pins this with an operator-new hook).
   std::vector<double> rtp_;
   std::vector<double> srtp_;
-  traffic::TrafficTrace traffic_;  ///< load-rate + volume buffers, reused
+  traffic::TrafficTrace traffic_;      ///< load-rate + volume buffers, reused
   std::vector<double> bs_kw_;
-  std::vector<double> cs_kw_;
-  std::vector<double> ghi_;
-  std::vector<double> wind_;
+  weather::WeatherSeries wx_;          ///< GHI / wind / temperature, reused
+  renewables::GenerationSeries gen_;   ///< plant output in watts, reused
+  ev::OccupancySeries occ_;            ///< EV occupancy + CS power, reused
   std::vector<double> pv_kw_;
   std::vector<double> wt_kw_;
   std::vector<double> renewable_kw_;
-  std::vector<bool> discounted_;  ///< per-slot discount flags scratch
+  std::vector<bool> discounted_;  ///< per-slot discount flags; built once
 
+  std::optional<ev::ChargingStation> station_;         ///< built at construction
+  std::optional<pricing::SellingPricePolicy> selling_; ///< built at first reset
   std::optional<battery::BatteryPack> pack_;  ///< in-place, re-emplaced per reset
   ProfitLedger ledger_;                       ///< reused via reset() per episode
   std::size_t t_ = 0;

@@ -19,13 +19,19 @@ double ChargingStation::power_kw(std::uint64_t vehicles) const {
 OccupancySeries ChargingStation::simulate(const TimeGrid& grid,
                                           const std::vector<bool>& discounted,
                                           Rng& rng) const {
+  OccupancySeries out;
+  simulate_into(grid, discounted, rng, out);
+  return out;
+}
+
+void ChargingStation::simulate_into(const TimeGrid& grid, const std::vector<bool>& discounted,
+                                    Rng& rng, OccupancySeries& out) const {
   if (discounted.size() != grid.size()) {
     throw std::invalid_argument("ChargingStation::simulate: discounted length must match grid");
   }
-  OccupancySeries out;
-  out.vehicles.resize(grid.size(), 0);
-  out.power_kw.resize(grid.size(), 0.0);
-  out.stratum.resize(grid.size(), Stratum::kNone);
+  out.vehicles.resize(grid.size());
+  out.power_kw.resize(grid.size());
+  out.stratum.resize(grid.size());
   for (std::size_t t = 0; t < grid.size(); ++t) {
     const auto hour = static_cast<std::size_t>(grid.hour_of_day(t));
     const Stratum s = profile_.sample(hour, rng);
@@ -39,7 +45,6 @@ OccupancySeries ChargingStation::simulate(const TimeGrid& grid,
     out.vehicles[t] = n;
     out.power_kw[t] = power_kw(n);
   }
-  return out;
 }
 
 }  // namespace ecthub::ev

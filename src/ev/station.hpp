@@ -39,6 +39,13 @@ class ChargingStation {
   [[nodiscard]] OccupancySeries simulate(const TimeGrid& grid,
                                          const std::vector<bool>& discounted, Rng& rng) const;
 
+  /// Allocation-free variant: regenerates `out` in place, reusing the
+  /// capacity of its three channels.  Draws the identical stochastic stream
+  /// as simulate() — EctHubEnv regenerates occupancy through this overload
+  /// without touching the heap.
+  void simulate_into(const TimeGrid& grid, const std::vector<bool>& discounted, Rng& rng,
+                     OccupancySeries& out) const;
+
   /// Power draw for a given number of charging EVs (clamped to num_plugs).
   [[nodiscard]] double power_kw(std::uint64_t vehicles) const;
 

@@ -48,12 +48,18 @@ double SellingPricePolicy::srtp(std::size_t t, double rtp) const {
 }
 
 std::vector<double> SellingPricePolicy::series(const std::vector<double>& rtp) const {
+  std::vector<double> out;
+  series_into(rtp, out);
+  return out;
+}
+
+void SellingPricePolicy::series_into(const std::vector<double>& rtp,
+                                     std::vector<double>& out) const {
   if (rtp.size() != schedule_.size()) {
     throw std::invalid_argument("SellingPricePolicy: rtp length must match schedule");
   }
-  std::vector<double> out(rtp.size());
+  out.resize(rtp.size());
   for (std::size_t t = 0; t < rtp.size(); ++t) out[t] = srtp(t, rtp[t]);
-  return out;
 }
 
 }  // namespace ecthub::pricing

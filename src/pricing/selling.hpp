@@ -52,6 +52,10 @@ class SellingPricePolicy {
   /// Whole-horizon series.
   [[nodiscard]] std::vector<double> series(const std::vector<double>& rtp) const;
 
+  /// Allocation-free variant: writes the series into `out` in place, reusing
+  /// its capacity.  Produces the identical values as series().
+  void series_into(const std::vector<double>& rtp, std::vector<double>& out) const;
+
   [[nodiscard]] const DiscountSchedule& schedule() const noexcept { return schedule_; }
   [[nodiscard]] const SellingConfig& config() const noexcept { return cfg_; }
 

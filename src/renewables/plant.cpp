@@ -27,19 +27,28 @@ RenewablePlant::RenewablePlant(PlantConfig cfg) : cfg_(cfg) {}
 
 GenerationSeries RenewablePlant::generate(const weather::WeatherSeries& wx) const {
   GenerationSeries out;
+  generate_into(wx, out);
+  return out;
+}
+
+void RenewablePlant::generate_into(const weather::WeatherSeries& wx,
+                                   GenerationSeries& out) const {
   out.pv_w.assign(wx.size(), 0.0);
   out.wt_w.assign(wx.size(), 0.0);
   out.total_w.assign(wx.size(), 0.0);
   if (cfg_.pv) {
     const PvArray pv(*cfg_.pv);
-    out.pv_w = pv.series(wx);
+    for (std::size_t t = 0; t < wx.size(); ++t) {
+      out.pv_w[t] = pv.power_w(wx.ghi_wm2[t], wx.temperature_c[t]);
+    }
   }
   if (cfg_.wt) {
     const WindTurbine wt(*cfg_.wt);
-    out.wt_w = wt.series(wx);
+    for (std::size_t t = 0; t < wx.size(); ++t) {
+      out.wt_w[t] = wt.power_w(wx.wind_speed_ms[t]);
+    }
   }
   for (std::size_t t = 0; t < wx.size(); ++t) out.total_w[t] = out.pv_w[t] + out.wt_w[t];
-  return out;
 }
 
 }  // namespace ecthub::renewables

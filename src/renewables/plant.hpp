@@ -41,6 +41,11 @@ class RenewablePlant {
 
   [[nodiscard]] GenerationSeries generate(const weather::WeatherSeries& wx) const;
 
+  /// Allocation-free variant: regenerates `out` in place, reusing the
+  /// capacity of its three channels.  Produces the identical values as
+  /// generate().
+  void generate_into(const weather::WeatherSeries& wx, GenerationSeries& out) const;
+
   [[nodiscard]] bool has_pv() const noexcept { return cfg_.pv.has_value(); }
   [[nodiscard]] bool has_wt() const noexcept { return cfg_.wt.has_value(); }
   [[nodiscard]] const PlantConfig& config() const noexcept { return cfg_; }

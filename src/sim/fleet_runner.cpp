@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <cctype>
 #include <exception>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -22,6 +24,75 @@ namespace {
 // The policy stream must be independent of the hub stream: xor with a fixed
 // tag so a RandomPolicy never replays the env's own draws.
 constexpr std::uint64_t kPolicySeedTag = 0xec7ec7ec7ec7ec7eULL;
+
+// Barrier-synchronized worker crew for the threaded lockstep path.  A crew
+// of N spawns N - 1 worker threads; the coordinator opens a phase with
+// run(task), executes the last partition itself between the two barriers
+// (so N configured threads cost exactly N busy threads, never N + 1), and
+// the call returns once every participant has finished.  Exceptions are
+// caught inside the phase (so a throwing participant still reaches the
+// completion barrier — no deadlock) and the first one recorded is rethrown
+// from run() on the coordinator.
+class LockstepCrew {
+ public:
+  explicit LockstepCrew(std::size_t size)
+      : workers_(size - 1), sync_(static_cast<std::ptrdiff_t>(size)) {
+    threads_.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { work(w); });
+    }
+  }
+
+  ~LockstepCrew() {
+    stop_ = true;
+    sync_.arrive_and_wait();  // release the crew; workers see stop_ and exit
+    for (std::thread& t : threads_) t.join();
+  }
+
+  LockstepCrew(const LockstepCrew&) = delete;
+  LockstepCrew& operator=(const LockstepCrew&) = delete;
+
+  void run(const std::function<void(std::size_t)>& task) {
+    task_ = &task;
+    sync_.arrive_and_wait();  // open the phase
+    invoke(task, workers_);   // the coordinator's own partition
+    sync_.arrive_and_wait();  // wait until every worker finished too
+    if (error_) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void invoke(const std::function<void(std::size_t)>& task, std::size_t index) {
+    try {
+      task(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  void work(std::size_t index) {
+    for (;;) {
+      sync_.arrive_and_wait();
+      // stop_ and task_ are written by the coordinator before it arrives at
+      // the opening barrier, which sequences them before this read.
+      if (stop_) return;
+      invoke(*task_, index);
+      sync_.arrive_and_wait();
+    }
+  }
+
+  std::size_t workers_;
+  std::barrier<> sync_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+  bool stop_ = false;
+};
 }  // namespace
 
 std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t hub_id) noexcept {
@@ -145,8 +216,12 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
   r.slots_per_episode = env.slots_per_episode();
   r.episode_profit.reserve(cfg.episodes_per_hub);
 
+  // One persistent observation buffer drives the whole job: reset_into /
+  // step_into regenerate and observe in place, so after the first episode's
+  // warm-up an episode performs zero heap allocations.
+  std::vector<double> state(env.state_dim());
   for (std::size_t ep = 0; ep < cfg.episodes_per_hub; ++ep) {
-    std::vector<double> state = env.reset();
+    env.reset_into(state);
     pol->begin_episode();
     const bool record_soc = ep + 1 == cfg.episodes_per_hub;
     SocDigest soc;
@@ -157,8 +232,7 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
     }
     bool done = false;
     while (!done) {
-      rl::StepResult sr = env.step(pol->decide(state));
-      state = std::move(sr.next_state);
+      const core::StepOutcome sr = env.step_into(pol->decide(state), state);
       done = sr.done;
       if (record_soc) {
         const double s = env.soc_frac();
@@ -234,24 +308,34 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
   std::vector<HubRunResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  // One lane per hub: its env, observation buffer and episode bookkeeping.
+  // One lane per hub: its env, observation target and episode bookkeeping.
+  // A lane's observation lives either in its fixed row of the group's
+  // observation matrix (shared stateless policies) or in its own `state`
+  // buffer (per-hub stateful policies); either way it is written in place by
+  // reset_into/step_into, so the steady-state slot loop never allocates.
   struct Lane {
     std::unique_ptr<core::EctHubEnv> env;
     std::unique_ptr<policy::Policy> own_pol;  ///< stateful policies only
     std::size_t group = kNoGroup;             ///< shared-policy group index
-    std::vector<double> state;
+    std::size_t row = 0;                      ///< fixed row in the group matrix
+    std::vector<double> state;                ///< stateful lanes only
     std::size_t episodes_done = 0;
     std::size_t action = 0;
     bool active = true;
+    bool needs_begin = true;  ///< episode reset pending (runs in phase A)
     bool record_soc = false;
     SocDigest soc;
     HubRunResult result;
   };
-  // A shared stateless policy and the gather/scatter scratch of its batch.
+  // A shared stateless policy and its whole-fleet observation batch.  Rows
+  // are assigned once at setup; a finished lane keeps its (stale, finite)
+  // row, which is safe because decide_batch computes every row
+  // independently — and means the batch needs no per-slot regrouping.
   struct Group {
     std::unique_ptr<policy::Policy> pol;
     std::size_t dim = 0;
-    std::vector<std::size_t> members;  ///< active lane indices this slot
+    std::size_t rows = 0;
+    bool any_active = false;
     nn::Matrix obs;
     std::vector<std::size_t> actions;
   };
@@ -263,21 +347,6 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
   // that must stay one-instance-per-hub.
   using GroupKey = std::tuple<int, const void*, std::size_t>;
   std::map<GroupKey, std::ptrdiff_t> group_of;
-
-  const auto policy_of = [&](Lane& lane) -> policy::Policy& {
-    return lane.group == kNoGroup ? *lane.own_pol : *groups[lane.group].pol;
-  };
-  const auto begin_episode = [&](Lane& lane) {
-    lane.state = lane.env->reset();
-    policy_of(lane).begin_episode();
-    lane.record_soc = lane.episodes_done + 1 == cfg_.episodes_per_hub;
-    if (lane.record_soc) {
-      lane.soc = SocDigest{};
-      lane.soc.first = lane.env->soc_frac();
-      lane.soc.min = std::numeric_limits<double>::infinity();
-      lane.soc.max = -std::numeric_limits<double>::infinity();
-    }
-  };
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const FleetJob& job = jobs[i];
@@ -312,6 +381,11 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
         lane.own_pol = std::move(pol);
       }
     }
+    if (lane.group != kNoGroup) {
+      lane.row = groups[lane.group].rows++;
+    } else {
+      lane.state.resize(lane.env->state_dim());
+    }
 
     lane.result.hub_id = i;
     lane.result.hub_name = job.hub.name;
@@ -321,72 +395,126 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     lane.result.episodes = cfg_.episodes_per_hub;
     lane.result.slots_per_episode = lane.env->slots_per_episode();
     lane.result.episode_profit.reserve(cfg_.episodes_per_hub);
-    begin_episode(lane);
+  }
+  for (Group& g : groups) {
+    g.obs = nn::Matrix(g.rows, g.dim);
+    g.actions.resize(g.rows);
   }
 
-  std::size_t active_count = lanes.size();
-  while (active_count > 0) {
-    // Gather -> one batched policy call per group -> scatter.  This is the
-    // matrix-matrix fleet slot: for an ECT-DRL fleet every hub's action
-    // comes out of a single forward pass.
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-      Group& g = groups[gi];
-      g.members.clear();
-      for (std::size_t i = 0; i < lanes.size(); ++i) {
-        if (lanes[i].active && lanes[i].group == gi) g.members.push_back(i);
-      }
-      if (g.members.empty()) continue;
-      if (g.obs.rows() != g.members.size()) g.obs = nn::Matrix(g.members.size(), g.dim);
-      double* obs_data = g.obs.data().data();
-      for (std::size_t m = 0; m < g.members.size(); ++m) {
-        const std::vector<double>& state = lanes[g.members[m]].state;
-        std::copy(state.begin(), state.end(), obs_data + m * g.dim);
-      }
-      g.actions.resize(g.members.size());
-      g.pol->decide_batch(g.obs, std::span<std::size_t>(g.actions));
-      for (std::size_t m = 0; m < g.members.size(); ++m) {
-        lanes[g.members[m]].action = g.actions[m];
+  // The lane's in-place observation target.
+  const auto obs_of = [&](Lane& lane) -> std::span<double> {
+    if (lane.group == kNoGroup) return std::span<double>(lane.state);
+    Group& g = groups[lane.group];
+    return std::span<double>(g.obs.data().data() + lane.row * g.dim, g.dim);
+  };
+
+  std::atomic<std::size_t> active_count{lanes.size()};
+
+  // Phase A: turn over finished episodes (every lane starts with one
+  // pending) and let per-hub stateful policies decide.  Shared stateless
+  // policies have no per-episode state by contract, so no begin_episode()
+  // call touches the shared instance from a worker thread.
+  const auto phase_a = [&](Lane& lane) {
+    if (!lane.active) return;
+    if (lane.needs_begin) {
+      lane.needs_begin = false;
+      lane.env->reset_into(obs_of(lane));
+      if (lane.own_pol) lane.own_pol->begin_episode();
+      lane.record_soc = lane.episodes_done + 1 == cfg_.episodes_per_hub;
+      if (lane.record_soc) {
+        lane.soc = SocDigest{};
+        lane.soc.first = lane.env->soc_frac();
+        lane.soc.min = std::numeric_limits<double>::infinity();
+        lane.soc.max = -std::numeric_limits<double>::infinity();
       }
     }
-    // Stateful policies decide per hub, exactly as in run_job.
+    if (lane.own_pol) lane.action = lane.own_pol->decide(lane.state);
+  };
+
+  // Phase B (coordinator only): one batched policy call per live group —
+  // the matrix-matrix fleet slot; for an ECT-DRL fleet every hub's action
+  // comes out of a single forward pass — then scatter the actions back.
+  const auto phase_b = [&]() {
+    for (Group& g : groups) g.any_active = false;
+    for (const Lane& lane : lanes) {
+      if (lane.active && lane.group != kNoGroup) groups[lane.group].any_active = true;
+    }
+    for (Group& g : groups) {
+      if (g.any_active) g.pol->decide_batch(g.obs, std::span<std::size_t>(g.actions));
+    }
     for (Lane& lane : lanes) {
-      if (lane.active && lane.group == kNoGroup) {
-        lane.action = lane.own_pol->decide(lane.state);
+      if (lane.active && lane.group != kNoGroup) {
+        lane.action = groups[lane.group].actions[lane.row];
       }
     }
-    // Advance every active hub one slot.
-    for (Lane& lane : lanes) {
-      if (!lane.active) continue;
-      rl::StepResult sr = lane.env->step(lane.action);
-      if (lane.record_soc) {
-        const double s = lane.env->soc_frac();
-        lane.soc.last = s;
-        lane.soc.min = std::min(lane.soc.min, s);
-        lane.soc.max = std::max(lane.soc.max, s);
-        lane.soc.checksum += s;
-        ++lane.soc.samples;
-      }
-      lane.state = std::move(sr.next_state);
-      if (!sr.done) continue;
-      if (lane.record_soc) {
-        lane.soc.mean = lane.soc.samples > 0
-                            ? lane.soc.checksum / static_cast<double>(lane.soc.samples)
-                            : 0.0;
-        lane.result.soc = lane.soc;
-      }
-      const core::ProfitLedger& ledger = lane.env->ledger();
-      lane.result.revenue += ledger.total_revenue();
-      lane.result.grid_cost += ledger.total_grid_cost();
-      lane.result.bp_cost += ledger.total_bp_cost();
-      lane.result.profit += ledger.total_profit();
-      lane.result.episode_profit.push_back(ledger.total_profit());
-      ++lane.episodes_done;
-      if (lane.episodes_done < cfg_.episodes_per_hub) {
-        begin_episode(lane);
-      } else {
-        lane.active = false;
-        --active_count;
-      }
+  };
+
+  // Phase C: advance every active lane one slot, writing the next
+  // observation straight into the lane's row/buffer, and close out finished
+  // episodes.
+  const auto phase_c = [&](Lane& lane) {
+    if (!lane.active) return;
+    const core::StepOutcome sr = lane.env->step_into(lane.action, obs_of(lane));
+    if (lane.record_soc) {
+      const double s = lane.env->soc_frac();
+      lane.soc.last = s;
+      lane.soc.min = std::min(lane.soc.min, s);
+      lane.soc.max = std::max(lane.soc.max, s);
+      lane.soc.checksum += s;
+      ++lane.soc.samples;
+    }
+    if (!sr.done) return;
+    if (lane.record_soc) {
+      lane.soc.mean = lane.soc.samples > 0
+                          ? lane.soc.checksum / static_cast<double>(lane.soc.samples)
+                          : 0.0;
+      lane.result.soc = lane.soc;
+    }
+    const core::ProfitLedger& ledger = lane.env->ledger();
+    lane.result.revenue += ledger.total_revenue();
+    lane.result.grid_cost += ledger.total_grid_cost();
+    lane.result.bp_cost += ledger.total_bp_cost();
+    lane.result.profit += ledger.total_profit();
+    lane.result.episode_profit.push_back(ledger.total_profit());
+    ++lane.episodes_done;
+    if (lane.episodes_done < cfg_.episodes_per_hub) {
+      lane.needs_begin = true;
+    } else {
+      lane.active = false;
+      active_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::size_t threads = cfg_.lockstep_threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, lanes.size());
+
+  if (threads <= 1) {
+    while (active_count.load(std::memory_order_relaxed) > 0) {
+      for (Lane& lane : lanes) phase_a(lane);
+      phase_b();
+      for (Lane& lane : lanes) phase_c(lane);
+    }
+  } else {
+    // Fixed contiguous lane partitions: each lane is touched by exactly one
+    // worker per phase and the crew's barriers order the phases, so the
+    // per-lane operation sequence is identical to the single-threaded loop.
+    const auto for_partition = [&](std::size_t w, const auto& body) {
+      const std::size_t begin = lanes.size() * w / threads;
+      const std::size_t end = lanes.size() * (w + 1) / threads;
+      for (std::size_t i = begin; i < end; ++i) body(lanes[i]);
+    };
+    const std::function<void(std::size_t)> run_a = [&](std::size_t w) {
+      for_partition(w, phase_a);
+    };
+    const std::function<void(std::size_t)> run_c = [&](std::size_t w) {
+      for_partition(w, phase_c);
+    };
+    LockstepCrew crew(threads);
+    while (active_count.load(std::memory_order_relaxed) > 0) {
+      crew.run(run_a);
+      phase_b();
+      crew.run(run_c);
     }
   }
 

@@ -14,8 +14,33 @@
 // one (hubs x state_dim) matrix, makes a single batched Policy call per
 // fleet slot, and scatters the actions back — so a neural policy (ECT-DRL)
 // replaces N matrix-vector products with one matrix-matrix forward pass.
-// Both paths produce bit-identical results (tests/test_sim.cpp pins it);
-// that property is the foundation every sharding/batching layer builds on.
+//
+// Determinism contract (the foundation every sharding/batching layer builds
+// on — tests/test_sim.cpp pins all of it):
+//
+//  * Seed mixing.  Every stochastic stream of hub i derives from
+//    mix_seed(base_seed, i); RNG state is never shared between hubs, so any
+//    execution order — per-hub or lockstep, any thread count — replays the
+//    identical per-hub streams.
+//  * Barrier semantics.  Threaded lockstep (lockstep_threads > 1) splits the
+//    lanes into fixed contiguous partitions, one per thread (the calling
+//    thread itself steps the last partition, so N configured threads are
+//    exactly N busy threads), and runs each slot as three phases separated
+//    by barriers: (A) workers reset lanes
+//    whose episode turned over and run per-hub stateful policies, (B) the
+//    coordinator fires one decide_batch per shared stateless policy group,
+//    (C) workers step their lanes, each writing the next observation into
+//    its fixed row of the group's observation matrix.  A lane is touched by
+//    exactly one thread per phase and the barriers order the phases, so the
+//    per-lane operation sequence — and therefore every result bit — is
+//    independent of lockstep_threads.  decide_batch computes each row
+//    independently (row i of a GEMM never reads row j), which is what lets
+//    finished lanes keep a stale row without disturbing the live ones.
+//  * Worker exceptions are caught at the phase boundary, the crew drains,
+//    and the first error is rethrown from run_lockstep — never a deadlock.
+//
+// run(), run_lockstep(1 thread) and run_lockstep(N threads) are all
+// bit-identical on the same jobs and config.
 #pragma once
 
 #include "core/hub_config.hpp"
@@ -114,9 +139,13 @@ class ScenarioRegistry;  // scenario.hpp
 struct FleetRunnerConfig {
   std::uint64_t base_seed = 7;
   /// Worker threads for run(); 0 means std::thread::hardware_concurrency().
-  /// run_lockstep() is single-threaded — its parallelism is the batched
-  /// policy call.
   std::size_t threads = 0;
+  /// Worker threads for run_lockstep()'s env-stepping phases; 0 means
+  /// std::thread::hardware_concurrency(), 1 (the default) keeps lockstep
+  /// single-threaded.  Any value produces bit-identical results — big
+  /// fleets get thread parallelism (env stepping) on top of batch
+  /// parallelism (one GEMM per shared stateless policy per slot).
+  std::size_t lockstep_threads = 1;
   std::size_t episodes_per_hub = 1;
 };
 
@@ -133,8 +162,11 @@ class FleetRunner {
   /// inference.  Stateless policies (TOU, no-battery, ECT-DRL) of the same
   /// kind and checkpoint share one instance fed a (hubs x state_dim)
   /// observation matrix — one decide_batch() call per fleet slot; stateful
-  /// policies keep an instance per hub.  Bit-identical to run() on the same
-  /// jobs and config.
+  /// policies keep an instance per hub.  With lockstep_threads > 1 the
+  /// env-stepping phases are sharded across a barrier-synchronized worker
+  /// crew (see the file comment for the phase/barrier semantics).
+  /// Bit-identical to run() on the same jobs and config, at any thread
+  /// count.
   [[nodiscard]] std::vector<HubRunResult> run_lockstep(
       const std::vector<FleetJob>& jobs) const;
 

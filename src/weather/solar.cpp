@@ -34,7 +34,13 @@ SolarModel::SolarModel(SolarConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {
 }
 
 std::vector<double> SolarModel::generate(const TimeGrid& grid) {
-  std::vector<double> ghi(grid.size(), 0.0);
+  std::vector<double> ghi;
+  generate_into(grid, ghi);
+  return ghi;
+}
+
+void SolarModel::generate_into(const TimeGrid& grid, std::vector<double>& ghi) {
+  ghi.resize(grid.size());
   bool cloudy = rng_.bernoulli(0.5);
   for (std::size_t t = 0; t < grid.size(); ++t) {
     if (rng_.bernoulli(cfg_.cloud_switch_prob)) cloudy = !cloudy;
@@ -50,7 +56,6 @@ std::vector<double> SolarModel::generate(const TimeGrid& grid) {
     }
     ghi[t] = clear * trans;
   }
-  return ghi;
 }
 
 }  // namespace ecthub::weather

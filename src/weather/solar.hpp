@@ -44,6 +44,12 @@ class SolarModel {
 
   [[nodiscard]] std::vector<double> generate(const TimeGrid& grid);
 
+  /// Allocation-free variant: writes the series into `ghi_wm2` in place,
+  /// reusing its capacity.  Draws the identical stochastic stream as
+  /// generate() — EctHubEnv regenerates episodes through this overload
+  /// without touching the heap.
+  void generate_into(const TimeGrid& grid, std::vector<double>& ghi_wm2);
+
   [[nodiscard]] const SolarConfig& config() const noexcept { return cfg_; }
 
  private:

@@ -9,10 +9,15 @@ WeatherGenerator::WeatherGenerator(WeatherConfig cfg, Rng rng) : cfg_(cfg), rng_
 
 WeatherSeries WeatherGenerator::generate(const TimeGrid& grid) {
   WeatherSeries series;
+  generate_into(grid, series);
+  return series;
+}
+
+void WeatherGenerator::generate_into(const TimeGrid& grid, WeatherSeries& series) {
   SolarModel solar(cfg_.solar, rng_.fork());
   WindModel wind(cfg_.wind, rng_.fork());
-  series.ghi_wm2 = solar.generate(grid);
-  series.wind_speed_ms = wind.generate(grid);
+  solar.generate_into(grid, series.ghi_wm2);
+  wind.generate_into(grid, series.wind_speed_ms);
   series.temperature_c.resize(grid.size());
   Rng temp_rng = rng_.fork();
   for (std::size_t t = 0; t < grid.size(); ++t) {
@@ -22,7 +27,6 @@ WeatherSeries WeatherGenerator::generate(const TimeGrid& grid) {
                               0.5 * cfg_.diurnal_temp_swing_c * diurnal +
                               temp_rng.normal(0.0, cfg_.temp_noise_sigma);
   }
-  return series;
 }
 
 }  // namespace ecthub::weather

@@ -35,6 +35,11 @@ class WeatherGenerator {
 
   [[nodiscard]] WeatherSeries generate(const TimeGrid& grid);
 
+  /// Allocation-free variant: regenerates `series` in place, reusing the
+  /// capacity of its three channels.  Draws the identical stochastic stream
+  /// as generate() (same solar / wind / temperature fork order).
+  void generate_into(const TimeGrid& grid, WeatherSeries& series);
+
   [[nodiscard]] const WeatherConfig& config() const noexcept { return cfg_; }
 
  private:

@@ -16,7 +16,13 @@ WindModel::WindModel(WindConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {
 }
 
 std::vector<double> WindModel::generate(const TimeGrid& grid) {
-  std::vector<double> speed(grid.size(), 0.0);
+  std::vector<double> speed;
+  generate_into(grid, speed);
+  return speed;
+}
+
+void WindModel::generate_into(const TimeGrid& grid, std::vector<double>& speed) {
+  speed.resize(grid.size());
   double x = cfg_.mean_speed_ms;  // OU state
   for (std::size_t t = 0; t < grid.size(); ++t) {
     const double diurnal =
@@ -27,7 +33,6 @@ std::vector<double> WindModel::generate(const TimeGrid& grid) {
     x = std::clamp(x, 0.0, cfg_.max_speed_ms);
     speed[t] = std::clamp(x * diurnal, 0.0, cfg_.max_speed_ms);
   }
-  return speed;
 }
 
 }  // namespace ecthub::weather

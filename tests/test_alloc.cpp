@@ -1,0 +1,187 @@
+// Allocation-audit regression tests.
+//
+// The fleet engine's hot path — EctHubEnv::reset_into + a full episode of
+// step_into — is required to perform ZERO heap allocations after warm-up:
+// every episode buffer is regenerated in place through the generate_into /
+// simulate_into / series_into overloads and the observation is written in
+// place through observe_into.  This binary replaces the global operator
+// new/delete pair with a counting hook so any allocation that sneaks back
+// onto the step or reset path fails a test here instead of silently eroding
+// fleet throughput.
+#include "common/rng.hpp"
+#include "common/time_grid.hpp"
+#include "core/hub_config.hpp"
+#include "core/hub_env.hpp"
+#include "ev/station.hpp"
+#include "pricing/rtp.hpp"
+#include "pricing/selling.hpp"
+#include "renewables/plant.hpp"
+#include "traffic/generator.hpp"
+#include "weather/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// Counting operator-new hook: every heap allocation in this binary bumps the
+// counter.  The sized/array/aligned forms are all provided so the
+// replacement set is complete and no allocation (including a future
+// over-aligned SIMD buffer) escapes the counter through a default form.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t alignment =
+      std::max(static_cast<std::size_t>(align), sizeof(void*));
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace ecthub {
+namespace {
+
+std::uint64_t allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+TEST(AllocationAudit, HookObservesVectorAllocations) {
+  // Sanity-check the hook itself: a vector allocation must be visible,
+  // otherwise the zero-allocation assertions below would be vacuous.
+  const std::uint64_t before = allocations();
+  std::vector<double> v(257);
+  v[0] = 1.0;
+  EXPECT_GT(allocations(), before);
+  EXPECT_EQ(v.size(), 257u);
+}
+
+TEST(AllocationAudit, HubResetAndFullEpisodeAllocationFreeAfterWarmup) {
+  core::HubConfig hub = core::HubConfig::urban("alloc-hub", 991);
+  core::HubEnvConfig env_cfg;
+  env_cfg.episode_days = 2;
+  // Exercise the discount/selling path too, not just full-price episodes.
+  env_cfg.discount_by_hour.assign(24, false);
+  for (std::size_t h = 18; h < 24; ++h) env_cfg.discount_by_hour[h] = true;
+  core::EctHubEnv env(std::move(hub), env_cfg);
+
+  std::vector<double> state(env.state_dim());
+  const auto run_episode = [&] {
+    env.reset_into(state);
+    bool done = false;
+    std::size_t t = 0;
+    while (!done) done = env.step_into(t++ % 3, state).done;
+  };
+
+  run_episode();  // warm-up: buffers and capacities settle
+  run_episode();
+  const std::uint64_t before = allocations();
+  run_episode();
+  EXPECT_EQ(allocations() - before, 0u)
+      << "reset_into/step_into allocated on the steady-state episode path";
+}
+
+TEST(AllocationAudit, RuralHubEpisodeAlsoAllocationFree) {
+  // The rural preset runs the full renewable plant (PV + wind turbine).
+  core::HubEnvConfig env_cfg;
+  env_cfg.episode_days = 2;
+  core::EctHubEnv env(core::HubConfig::rural("alloc-rural", 992), env_cfg);
+  std::vector<double> state(env.state_dim());
+  const auto run_episode = [&] {
+    env.reset_into(state);
+    bool done = false;
+    std::size_t t = 0;
+    while (!done) done = env.step_into((t++ / 4) % 3, state).done;
+  };
+  run_episode();
+  run_episode();
+  const std::uint64_t before = allocations();
+  run_episode();
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocationAudit, WeatherGenerateIntoAllocationFreeAfterWarmup) {
+  const TimeGrid grid(2, 24);
+  weather::SolarModel solar(weather::SolarConfig{}, Rng(31));
+  weather::WindModel wind(weather::WindConfig{}, Rng(32));
+  weather::WeatherGenerator wx_gen(weather::WeatherConfig{}, Rng(33));
+  std::vector<double> ghi, speed;
+  weather::WeatherSeries wx;
+  solar.generate_into(grid, ghi);  // warm-up
+  wind.generate_into(grid, speed);
+  wx_gen.generate_into(grid, wx);
+
+  const std::uint64_t before = allocations();
+  solar.generate_into(grid, ghi);
+  wind.generate_into(grid, speed);
+  wx_gen.generate_into(grid, wx);
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocationAudit, PlantAndStationRegenerateAllocationFreeAfterWarmup) {
+  const TimeGrid grid(2, 24);
+  weather::WeatherGenerator wx_gen(weather::WeatherConfig{}, Rng(34));
+  weather::WeatherSeries wx;
+  wx_gen.generate_into(grid, wx);
+
+  const renewables::RenewablePlant plant(renewables::PlantConfig::rural());
+  renewables::GenerationSeries gen;
+  plant.generate_into(wx, gen);  // warm-up
+
+  const ev::ChargingStation station(ev::StationConfig{}, ev::StrataProfile(0.8, 0.7, 0.3));
+  const std::vector<bool> discounted(grid.size(), false);
+  ev::OccupancySeries occ;
+  Rng ev_rng(35);
+  station.simulate_into(grid, discounted, ev_rng, occ);  // warm-up
+
+  const std::uint64_t before = allocations();
+  plant.generate_into(wx, gen);
+  station.simulate_into(grid, discounted, ev_rng, occ);
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocationAudit, PricingAndTrafficRegenerateAllocationFreeAfterWarmup) {
+  const TimeGrid grid(2, 24);
+  traffic::TrafficGenerator traffic_gen(traffic::TrafficConfig{}, Rng(36));
+  traffic::TrafficTrace trace;
+  traffic_gen.generate_into(grid, trace);  // warm-up
+
+  pricing::RtpGenerator rtp_gen(pricing::RtpConfig{}, Rng(37));
+  std::vector<double> rtp;
+  rtp_gen.generate_into(grid, trace.load_rate, rtp);  // warm-up
+
+  const pricing::SellingPricePolicy selling(
+      pricing::SellingConfig{}, pricing::DiscountSchedule(grid.size()));
+  std::vector<double> srtp;
+  selling.series_into(rtp, srtp);  // warm-up
+
+  const std::uint64_t before = allocations();
+  traffic_gen.generate_into(grid, trace);
+  rtp_gen.generate_into(grid, trace.load_rate, rtp);
+  selling.series_into(rtp, srtp);
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
+}  // namespace
+}  // namespace ecthub

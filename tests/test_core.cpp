@@ -389,6 +389,53 @@ TEST(EctHubEnv, StepPastEpisodeEndThrows) {
   EXPECT_NO_THROW(env.step(0));
 }
 
+TEST(EctHubEnv, IntoOverloadsAreBitIdenticalToAllocatingPath) {
+  // Two identically-seeded envs: one driven through reset()/step(), the
+  // other through the allocation-free reset_into()/step_into() fast path.
+  // Observations, rewards and ledger totals must match to the last bit.
+  EctHubEnv alloc_env(HubConfig::urban("into-a", 61), small_env(2));
+  EctHubEnv into_env(HubConfig::urban("into-a", 61), small_env(2));
+
+  std::vector<double> alloc_state = alloc_env.reset();
+  std::vector<double> into_state(into_env.state_dim());
+  into_env.reset_into(into_state);
+  ASSERT_EQ(into_state, alloc_state);
+
+  bool done = false;
+  std::size_t t = 0;
+  while (!done) {
+    const std::size_t action = t++ % 3;
+    rl::StepResult sr = alloc_env.step(action);
+    const StepOutcome out = into_env.step_into(action, into_state);
+    EXPECT_EQ(out.reward, sr.reward);
+    EXPECT_EQ(out.done, sr.done);
+    EXPECT_EQ(into_state, sr.next_state);
+    done = sr.done;
+  }
+  EXPECT_EQ(into_env.ledger().total_profit(), alloc_env.ledger().total_profit());
+  EXPECT_EQ(into_env.ledger().total_revenue(), alloc_env.ledger().total_revenue());
+}
+
+TEST(EctHubEnv, IntoOverloadsValidateBufferSize) {
+  EctHubEnv env(HubConfig::urban("into-b", 62), small_env(1));
+  std::vector<double> wrong(env.state_dim() + 1);
+  std::vector<double> right(env.state_dim());
+  EXPECT_THROW(env.reset_into(wrong), std::invalid_argument);
+  EXPECT_THROW(env.observe_into(right), std::logic_error);  // before reset
+  env.reset_into(right);
+  EXPECT_THROW(env.observe_into(wrong), std::invalid_argument);
+  EXPECT_THROW(env.step_into(0, wrong), std::invalid_argument);
+  EXPECT_NO_THROW(env.step_into(0, right));
+}
+
+TEST(EctHubEnv, ObserveIntoMatchesResetObservation) {
+  EctHubEnv env(HubConfig::urban("into-c", 63), small_env(1));
+  const std::vector<double> from_reset = env.reset();
+  std::vector<double> observed(env.state_dim());
+  env.observe_into(observed);
+  EXPECT_EQ(observed, from_reset);
+}
+
 TEST(Profit, LedgerResetClearsTotalsAndDays) {
   ProfitLedger ledger(2);
   SlotEconomics e;

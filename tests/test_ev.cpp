@@ -418,6 +418,31 @@ TEST(StrataProfile, EveningCommuterAddsAlwaysMassInEvening) {
   EXPECT_THROW(StrataProfile(0.8, 0.6, 1.5), std::invalid_argument);
 }
 
+TEST(ChargingStation, SimulateIntoMatchesSimulateAndReusesBuffers) {
+  const ChargingStation station(StationConfig{}, StrataProfile(0.8, 0.7, 0.3));
+  const TimeGrid grid(3, 24);
+  const std::vector<bool> discounted(grid.size(), false);
+  Rng fresh_rng(61);
+  const OccupancySeries fresh = station.simulate(grid, discounted, fresh_rng);
+
+  Rng rng(61);
+  OccupancySeries reused;
+  station.simulate_into(grid, discounted, rng, reused);
+  EXPECT_EQ(reused.vehicles, fresh.vehicles);
+  EXPECT_EQ(reused.power_kw, fresh.power_kw);
+  EXPECT_EQ(reused.stratum, fresh.stratum);
+
+  // A second pass must reuse the channel buffers (no realloc) and draw a
+  // fresh stochastic stream, not replay the first.
+  const std::uint64_t* veh_buf = reused.vehicles.data();
+  const double* power_buf = reused.power_kw.data();
+  station.simulate_into(grid, discounted, rng, reused);
+  EXPECT_EQ(reused.vehicles.data(), veh_buf);
+  EXPECT_EQ(reused.power_kw.data(), power_buf);
+  EXPECT_EQ(reused.size(), grid.size());
+  EXPECT_NE(reused.stratum, fresh.stratum);
+}
+
 TEST(ChargingDataset, RejectsBadConfig) {
   DatasetConfig bad;
   bad.num_stations = 0;

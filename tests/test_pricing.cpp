@@ -217,6 +217,24 @@ TEST(SellingPricePolicy, SeriesLengthMismatchThrows) {
   EXPECT_THROW(policy.series({1.0}), std::invalid_argument);
 }
 
+TEST(SellingPricePolicy, SeriesIntoMatchesSeriesAndReusesBuffers) {
+  DiscountSchedule schedule(4);
+  schedule.set(2, 0.2);
+  const SellingPricePolicy policy(SellingConfig{}, schedule);
+  const std::vector<double> rtp = {40.0, 80.0, 120.0, 60.0};
+  const std::vector<double> fresh = policy.series(rtp);
+
+  std::vector<double> reused;
+  policy.series_into(rtp, reused);
+  EXPECT_EQ(reused, fresh);
+
+  const double* buf = reused.data();
+  policy.series_into(rtp, reused);
+  EXPECT_EQ(reused.data(), buf);
+  EXPECT_EQ(reused, fresh);
+  EXPECT_THROW(policy.series_into({1.0}, reused), std::invalid_argument);
+}
+
 TEST(SellingPricePolicy, UndiscountedSellAboveBuy) {
   // Economic sanity: with the default markup, selling undiscounted energy is
   // profitable per-unit at any grid price.

@@ -142,5 +142,27 @@ TEST(RenewablePlant, RuralOutGeneratesUrban) {
   EXPECT_GT(stats::sum(rural.total_w), stats::sum(urban.total_w));
 }
 
+TEST(RenewablePlant, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const auto wx = make_weather(15);
+  const RenewablePlant plant(PlantConfig::rural());
+  const GenerationSeries fresh = plant.generate(wx);
+
+  GenerationSeries reused;
+  plant.generate_into(wx, reused);
+  EXPECT_EQ(reused.pv_w, fresh.pv_w);
+  EXPECT_EQ(reused.wt_w, fresh.wt_w);
+  EXPECT_EQ(reused.total_w, fresh.total_w);
+
+  // A second pass must reuse the channel buffers (no realloc).
+  const double* pv_buf = reused.pv_w.data();
+  const double* wt_buf = reused.wt_w.data();
+  const double* total_buf = reused.total_w.data();
+  plant.generate_into(wx, reused);
+  EXPECT_EQ(reused.pv_w.data(), pv_buf);
+  EXPECT_EQ(reused.wt_w.data(), wt_buf);
+  EXPECT_EQ(reused.total_w.data(), total_buf);
+  EXPECT_EQ(reused.total_w, fresh.total_w);  // deterministic given weather
+}
+
 }  // namespace
 }  // namespace ecthub::renewables

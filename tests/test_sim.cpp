@@ -404,6 +404,115 @@ TEST(FleetRunnerLockstep, EmptyJobList) {
   EXPECT_TRUE(FleetRunner(FleetRunnerConfig{}).run_lockstep({}).empty());
 }
 
+// ------------------------------------------------------------ threaded lockstep
+
+std::vector<HubRunResult> run_lockstep_fleet(const std::vector<FleetJob>& jobs,
+                                             std::size_t lockstep_threads,
+                                             std::size_t episodes = 1) {
+  FleetRunnerConfig cfg;
+  cfg.lockstep_threads = lockstep_threads;
+  cfg.episodes_per_hub = episodes;
+  return FleetRunner(cfg).run_lockstep(jobs);
+}
+
+TEST(LockstepDeterminism, ThreeWayBitIdentity64HubsAllScenariosAllSchedulers) {
+  // The determinism harness of the threaded engine: a 64-hub fleet covering
+  // every built-in scenario and every scheduler kind, executed three ways —
+  // per-hub run(), single-threaded lockstep and 8-thread lockstep — must
+  // produce bit-identical per-hub episode checksums across all three paths.
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto ckpt = tiny_checkpoint();
+  const std::vector<std::string>& keys = reg.keys();
+  const std::vector<SchedulerKind>& kinds = all_scheduler_kinds();
+  std::vector<FleetJob> jobs;
+  jobs.reserve(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::string& key = keys[i % keys.size()];
+    const SchedulerKind kind = kinds[(i / keys.size()) % kinds.size()];
+    FleetJob job;
+    job.hub = reg.at(key).make_hub(key + "-" + std::to_string(i), 0);
+    job.env = reg.at(key).env;
+    job.env.episode_days = 2;
+    job.scenario = key;
+    job.scheduler = kind;
+    if (kind == SchedulerKind::kDrl) job.checkpoint = ckpt;
+    jobs.push_back(std::move(job));
+  }
+  // Every scheduler kind must actually be in the fleet.
+  std::set<SchedulerKind> covered;
+  for (const FleetJob& job : jobs) covered.insert(job.scheduler);
+  ASSERT_EQ(covered.size(), kinds.size());
+
+  FleetRunnerConfig cfg;
+  cfg.threads = 8;
+  cfg.episodes_per_hub = 2;  // exercise mid-lockstep episode turnover
+  cfg.lockstep_threads = 1;
+  const auto per_hub = FleetRunner(cfg).run(jobs);
+  const auto lockstep_1 = FleetRunner(cfg).run_lockstep(jobs);
+  cfg.lockstep_threads = 8;
+  const auto lockstep_8 = FleetRunner(cfg).run_lockstep(jobs);
+
+  expect_results_bit_identical(per_hub, lockstep_1);
+  expect_results_bit_identical(lockstep_1, lockstep_8);
+}
+
+TEST(FleetRunnerLockstep, OversubscribedThreadsMatchSerial) {
+  // More workers than hubs: partitions clamp to the fleet size and the
+  // result stays bit-identical.
+  const std::vector<FleetJob> jobs = make_jobs(3);
+  expect_results_bit_identical(run_lockstep_fleet(jobs, 1),
+                               run_lockstep_fleet(jobs, 16));
+}
+
+TEST(FleetRunnerLockstep, SingleHubFleetRunsThreaded) {
+  const std::vector<FleetJob> jobs = make_jobs(1);
+  const auto serial = run_lockstep_fleet(jobs, 1);
+  const auto threaded = run_lockstep_fleet(jobs, 4);
+  ASSERT_EQ(threaded.size(), 1u);
+  expect_results_bit_identical(serial, threaded);
+  EXPECT_TRUE(std::isfinite(threaded[0].profit));
+}
+
+TEST(FleetRunnerLockstep, HardwareConcurrencyDefaultMatchesSerial) {
+  // lockstep_threads == 0 resolves to hardware_concurrency.
+  const std::vector<FleetJob> jobs = make_jobs(6);
+  expect_results_bit_identical(run_lockstep_fleet(jobs, 1),
+                               run_lockstep_fleet(jobs, 0));
+}
+
+TEST(FleetRunnerLockstep, BarrierStressManySlotsManyEpisodes) {
+  // Thousands of barrier crossings on a tiny fleet: 2 hubs x 10 days x 3
+  // episodes with 2 workers is ~1440 slots -> ~2880 barrier phases.  Any
+  // lost-wakeup or ordering bug shows up as a hang (ctest timeout) or a
+  // checksum mismatch.
+  const std::vector<FleetJob> jobs = make_jobs(2, 10);
+  expect_results_bit_identical(run_lockstep_fleet(jobs, 1, 3),
+                               run_lockstep_fleet(jobs, 2, 3));
+}
+
+TEST(FleetRunnerLockstep, WorkerExceptionPropagatesWithoutDeadlock) {
+  // A negative traffic noise sigma makes TrafficGenerator's constructor
+  // throw at the first reset — which threaded lockstep performs on a worker
+  // thread.  The crew must surface the exception, not deadlock or crash.
+  std::vector<FleetJob> jobs = make_jobs(8);
+  jobs[5].hub.traffic.noise_sigma = -1.0;
+  FleetRunnerConfig cfg;
+  cfg.lockstep_threads = 4;
+  const FleetRunner runner(cfg);
+  EXPECT_THROW((void)runner.run_lockstep(jobs), std::invalid_argument);
+  // The runner stays usable after a failed fleet.
+  jobs[5].hub.traffic.noise_sigma = 0.08;
+  const auto results = runner.run_lockstep(jobs);
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_TRUE(std::isfinite(results[5].profit));
+}
+
+TEST(FleetRunnerLockstep, SerialWorkerExceptionAlsoPropagates) {
+  std::vector<FleetJob> jobs = make_jobs(4);
+  jobs[0].hub.traffic.noise_sigma = -1.0;
+  EXPECT_THROW((void)run_lockstep_fleet(jobs, 1), std::invalid_argument);
+}
+
 TEST(FleetRunner, WorkerExceptionsPropagate) {
   // A zero-capacity battery makes EctHubEnv construction throw inside the
   // worker; the runner must surface it, not deadlock or crash.

@@ -188,5 +188,64 @@ TEST(WeatherGenerator, AfternoonWarmerThanNight) {
   EXPECT_GT(afternoon / static_cast<double>(na), night / static_cast<double>(nn));
 }
 
+// ------------------------------------------------- allocation-free variants
+
+TEST(SolarModel, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const TimeGrid grid(3, 24);
+  const auto fresh = SolarModel(SolarConfig{}, Rng(51)).generate(grid);
+
+  SolarModel model(SolarConfig{}, Rng(51));
+  std::vector<double> reused;
+  model.generate_into(grid, reused);
+  EXPECT_EQ(reused, fresh);
+
+  // A second pass must reuse the buffer (no realloc) and draw a fresh
+  // stochastic stream, not replay the first.
+  const double* buf = reused.data();
+  const double first_sum = stats::sum(reused);
+  model.generate_into(grid, reused);
+  EXPECT_EQ(reused.data(), buf);
+  EXPECT_EQ(reused.size(), grid.size());
+  EXPECT_NE(stats::sum(reused), first_sum);
+}
+
+TEST(WindModel, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const TimeGrid grid(3, 24);
+  const auto fresh = WindModel(WindConfig{}, Rng(52)).generate(grid);
+
+  WindModel model(WindConfig{}, Rng(52));
+  std::vector<double> reused;
+  model.generate_into(grid, reused);
+  EXPECT_EQ(reused, fresh);
+
+  const double* buf = reused.data();
+  const double first_sum = stats::sum(reused);
+  model.generate_into(grid, reused);
+  EXPECT_EQ(reused.data(), buf);
+  EXPECT_NE(stats::sum(reused), first_sum);
+}
+
+TEST(WeatherGenerator, GenerateIntoMatchesGenerateAndReusesBuffers) {
+  const TimeGrid grid(3, 24);
+  const WeatherSeries fresh = WeatherGenerator(WeatherConfig{}, Rng(53)).generate(grid);
+
+  WeatherGenerator gen(WeatherConfig{}, Rng(53));
+  WeatherSeries reused;
+  gen.generate_into(grid, reused);
+  EXPECT_EQ(reused.ghi_wm2, fresh.ghi_wm2);
+  EXPECT_EQ(reused.wind_speed_ms, fresh.wind_speed_ms);
+  EXPECT_EQ(reused.temperature_c, fresh.temperature_c);
+
+  const double* ghi_buf = reused.ghi_wm2.data();
+  const double* wind_buf = reused.wind_speed_ms.data();
+  const double* temp_buf = reused.temperature_c.data();
+  gen.generate_into(grid, reused);
+  EXPECT_EQ(reused.ghi_wm2.data(), ghi_buf);
+  EXPECT_EQ(reused.wind_speed_ms.data(), wind_buf);
+  EXPECT_EQ(reused.temperature_c.data(), temp_buf);
+  EXPECT_EQ(reused.size(), grid.size());
+  EXPECT_NE(reused.wind_speed_ms, fresh.wind_speed_ms);
+}
+
 }  // namespace
 }  // namespace ecthub::weather
