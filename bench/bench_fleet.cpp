@@ -16,10 +16,18 @@
 // workers while inference stays one GEMM per slot — thread x batch
 // parallelism on one fleet, still bit-identical to the per-hub reference.
 // The sweep runs the rule-policy fleet, where stepping is the entire slot
-// cost; an ECT-DRL fleet's threaded speedup is Amdahl-bounded by the
-// (serial, already-batched) GEMM share measured in part 2.  Wall-clock
-// scaling needs real cores — the table prints hardware_concurrency so a
-// flat curve on a 1-core box reads as the environment, not a regression.
+// cost.  Wall-clock scaling needs real cores — the table prints
+// hardware_concurrency so a flat curve on a 1-core box reads as the
+// environment, not a regression.
+//
+// Part 4 is the GEMM-placement sweep on the ECT-DRL fleet: at each worker
+// count, the PR 4 coordinator path (one decide_batch on the coordinator
+// while the crew idles at the barrier) races the worker path (each worker
+// runs decide_rows on its lane partition's row-block of the shared
+// observation matrix).  The coordinator GEMM is the Amdahl bottleneck the
+// worker placement removes; with >= 4 real cores the worker column should
+// pull ahead, and every cell is cross-checked bit-identical to the per-hub
+// reference.
 //
 //   $ ./bench_fleet [--hubs 64] [--days 4] [--episodes 1]
 //                   [--threads-list 1,2,4,8] [--base-seed 7]
@@ -102,18 +110,25 @@ int main(int argc, char** argv) {
   std::cout << "=== Fleet throughput: " << hubs << " hubs x " << slots
             << " slots, base seed " << base_seed << " ===\n";
 
-  const auto timed_run = [&](const std::vector<sim::FleetJob>& fleet_jobs,
-                             std::size_t threads, bool lockstep,
-                             std::vector<sim::HubRunResult>& out) {
+  const auto timed_run_gemm = [&](const std::vector<sim::FleetJob>& fleet_jobs,
+                                  std::size_t threads, bool lockstep,
+                                  sim::LockstepGemm gemm,
+                                  std::vector<sim::HubRunResult>& out) {
     sim::FleetRunnerConfig cfg;
     cfg.base_seed = base_seed;
     cfg.threads = threads;
     cfg.lockstep_threads = lockstep ? threads : 1;
+    cfg.lockstep_gemm = gemm;
     cfg.episodes_per_hub = episodes;
     const sim::FleetRunner runner(cfg);
     const auto start = std::chrono::steady_clock::now();
     out = lockstep ? runner.run_lockstep(fleet_jobs) : runner.run(fleet_jobs);
     return now_ms_since(start);
+  };
+  const auto timed_run = [&](const std::vector<sim::FleetJob>& fleet_jobs,
+                             std::size_t threads, bool lockstep,
+                             std::vector<sim::HubRunResult>& out) {
+    return timed_run_gemm(fleet_jobs, threads, lockstep, sim::LockstepGemm::kWorker, out);
   };
 
   // The reference is always an explicit 1-thread run — every entry of
@@ -258,5 +273,45 @@ int main(int argc, char** argv) {
     }
   }
   scaling.print(std::cout);
+
+  // --- Part 4: GEMM placement — coordinator vs worker row-block GEMMs -----
+  // The ECT-DRL fleet again, where inference is a real share of the slot:
+  // each worker count races the serial coordinator decide_batch against
+  // per-worker decide_rows row-blocks of the same observation matrices.
+  std::cout << "\n=== Lockstep GEMM placement: " << hubs << " hubs, drl fleet, "
+            << std::thread::hardware_concurrency() << " hardware core(s) ===\n";
+  std::vector<sim::HubRunResult> drl_reference;
+  const double drl_serial_ms =
+      timed_run_gemm(drl_jobs, 1, true, sim::LockstepGemm::kCoordinator, drl_reference);
+  if (!results_identical(drl_reference, per_hub)) {
+    std::cerr << "DETERMINISM VIOLATION: lockstep DRL differs from per-hub\n";
+    return 1;
+  }
+  TextTable gemm_table({"lockstep threads", "coordinator ms", "worker ms",
+                        "worker speedup", "bit-identical"});
+  for (const std::size_t threads : thread_list) {
+    std::vector<sim::HubRunResult> coord_results, worker_results;
+    const double coord_ms = timed_run_gemm(drl_jobs, threads, true,
+                                           sim::LockstepGemm::kCoordinator, coord_results);
+    const double worker_ms = timed_run_gemm(drl_jobs, threads, true,
+                                            sim::LockstepGemm::kWorker, worker_results);
+    const bool identical = results_identical(coord_results, drl_reference) &&
+                           results_identical(worker_results, drl_reference);
+    gemm_table.begin_row()
+        .add_int(static_cast<long long>(threads))
+        .add_double(coord_ms, 1)
+        .add_double(worker_ms, 1)
+        .add_double(coord_ms / worker_ms, 2)
+        .add(identical ? "yes" : "NO");
+    if (!identical) {
+      std::cerr << "DETERMINISM VIOLATION at " << threads
+                << " lockstep threads (gemm placement)\n";
+      gemm_table.print(std::cout);
+      return 1;
+    }
+  }
+  gemm_table.print(std::cout);
+  std::cout << "(serial coordinator reference: " << drl_serial_ms << " ms; worker "
+            << "speedup > 1 needs real cores — see hardware core count above)\n";
   return 0;
 }

@@ -28,9 +28,11 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 # Job 4 rebuilds under ThreadSanitizer and runs the sim-engine suite (the
-# threaded per-hub runner and the barrier-synchronized lockstep crew) plus
-# the DRL lockstep smoke, so every push exercises the lockstep barriers
-# under TSan as well as ASan.
+# threaded per-hub runner, the barrier-synchronized lockstep crew, and the
+# four-way run/lockstep×1/coordinator-GEMM/worker-GEMM identity harness —
+# LockstepDeterminism.* matches the Lockstep filter below) plus the DRL
+# lockstep smoke, so every push exercises the lockstep barriers and the
+# concurrent row-block decide_rows path under TSan as well as ASan.
 echo "==> Job 4: TSan lockstep (test_sim + DRL lockstep smoke)"
 cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -18,12 +18,16 @@
 //   $ ./city_sweep --scenarios urban,price-spike --days 7 --episodes 2
 //   $ ./city_sweep --scheduler all --lockstep       # 5 heuristics + ECT-DRL
 //   $ ./city_sweep --scheduler drl --lockstep --lockstep-threads 8
+//   $ ./city_sweep --scheduler drl --lockstep-threads 8 --lockstep-gemm coordinator
 //   $ ./city_sweep --scheduler drl --drl-checkpoint actor.ckpt --drl-iters 8
 //   $ ./city_sweep --list                           # show the registry
 //
 // --lockstep-threads N shards the lockstep env-stepping phases across N
 // workers (0 = hardware concurrency) and implies --lockstep; results are
-// bit-identical at any thread count.
+// bit-identical at any thread count.  --lockstep-gemm worker|coordinator
+// (default worker) picks where the per-slot batched inference runs: sharded
+// across the worker crew as row-block GEMMs, or as the single coordinator
+// GEMM — also bit-identical, so the flag is purely a performance choice.
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
@@ -126,9 +130,18 @@ int main(int argc, char** argv) {
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
   // An explicit --lockstep-threads would be silently ignored by the per-hub
   // path, so it implies --lockstep.
-  const bool lockstep = flags.get_bool("lockstep") || flags.has("lockstep-threads");
+  const bool lockstep = flags.get_bool("lockstep") || flags.has("lockstep-threads") ||
+                        flags.has("lockstep-gemm");
   const auto lockstep_threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("lockstep-threads", 1)));  // 0 = hardware concurrency
+  sim::LockstepGemm lockstep_gemm = sim::LockstepGemm::kWorker;
+  try {
+    lockstep_gemm =
+        sim::lockstep_gemm_from_string(flags.get_string("lockstep-gemm", "worker"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "city_sweep: " << e.what() << "\n";
+    return 1;
+  }
 
   const std::string scheduler_arg = flags.get_string("scheduler", "tou");
   std::vector<sim::SchedulerKind> kinds;
@@ -166,6 +179,7 @@ int main(int argc, char** argv) {
   runner_cfg.base_seed = base_seed;
   runner_cfg.threads = threads;
   runner_cfg.lockstep_threads = lockstep_threads;
+  runner_cfg.lockstep_gemm = lockstep_gemm;
   runner_cfg.episodes_per_hub = episodes;
   const sim::FleetRunner runner(runner_cfg);
 
@@ -176,7 +190,7 @@ int main(int argc, char** argv) {
     std::cout << ", lockstep-batched ("
               << (lockstep_threads == 0 ? std::string("hw")
                                         : std::to_string(lockstep_threads))
-              << " thread(s))";
+              << " thread(s), " << sim::to_string(lockstep_gemm) << " GEMMs)";
   }
   std::cout << " ===\n\n";
 

@@ -24,6 +24,15 @@ Matrix Dense::forward(const Matrix& x) {
   return y;
 }
 
+void Dense::forward_rows_into(const Matrix& x, std::size_t row_begin, std::size_t row_end,
+                              Matrix& out) const {
+  if (x.cols() != w_.rows()) {
+    throw std::invalid_argument("Dense::forward_rows_into: dim mismatch");
+  }
+  x.matmul_rows_into(w_, row_begin, row_end, out);
+  out.add_row_vector(b_);
+}
+
 Matrix Dense::backward(const Matrix& dy) {
   if (cached_x_.empty()) throw std::logic_error("Dense::backward before forward");
   if (dy.rows() != cached_x_.rows() || dy.cols() != w_.cols()) {
@@ -86,6 +95,23 @@ Matrix ActivationLayer::forward(const Matrix& x) {
       return x.apply([](double v) { return std::tanh(v); });
     case Activation::kIdentity:
       return x;
+  }
+  throw std::logic_error("ActivationLayer: invalid kind");
+}
+
+void ActivationLayer::forward_inplace(Matrix& x) const {
+  switch (kind_) {
+    case Activation::kRelu:
+      for (double& v : x.data()) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kSigmoid:
+      for (double& v : x.data()) v = sigmoid(v);
+      return;
+    case Activation::kTanh:
+      for (double& v : x.data()) v = std::tanh(v);
+      return;
+    case Activation::kIdentity:
+      return;
   }
   throw std::logic_error("ActivationLayer: invalid kind");
 }

@@ -31,6 +31,12 @@ class Dense {
 
   /// X: (batch x in_dim) -> (batch x out_dim); caches X.
   Matrix forward(const Matrix& x);
+  /// Inference-only forward over rows [row_begin, row_end) of X, written
+  /// into `out` (resized, allocation-free once warm).  Caches nothing and
+  /// mutates no member state, so disjoint row blocks of one X may run
+  /// concurrently; bit-identical to the same rows of forward(x).
+  void forward_rows_into(const Matrix& x, std::size_t row_begin, std::size_t row_end,
+                         Matrix& out) const;
   /// dY: (batch x out_dim) -> dX; accumulates dW, db.
   Matrix backward(const Matrix& dy);
 
@@ -81,6 +87,9 @@ class ActivationLayer {
   explicit ActivationLayer(Activation kind) : kind_(kind) {}
 
   Matrix forward(const Matrix& x);
+  /// Inference-only: applies the activation in place without caching the
+  /// pre-activation input (thread-safe const); same values as forward(x).
+  void forward_inplace(Matrix& x) const;
   Matrix backward(const Matrix& dy) const;
 
   [[nodiscard]] Activation kind() const noexcept { return kind_; }

@@ -4,6 +4,19 @@
 // actor-critic) are all small dense networks; a straightforward double
 // matrix with cache-friendly row-major loops is fast enough at CPU scale
 // and keeps the numerics transparent for testing.
+//
+// matmul carries a second, cache-blocked kernel for batched inference: once
+// the product has enough rows to tile and the right-hand matrix outgrows L1,
+// it is tiled over A-rows and B-columns so a hot B column block is reused
+// across the row tile.  Both kernels accumulate
+// every output element over k in ascending order with the identical
+// fused-able `out += a * b` statement and the identical zero-skip, so the
+// blocked path is bit-identical to the naive one — the property that lets a
+// batched fleet GEMM reproduce per-hub matrix-vector forwards exactly
+// (tests/test_nn.cpp pins it over a randomized shape sweep).  Row-range
+// products (matmul_rows_into) compute a disjoint row-block of the same
+// product, bit-identical to the corresponding rows of the full call, which
+// is what lets several workers shard one observation matrix.
 #pragma once
 
 #include "common/rng.hpp"
@@ -39,8 +52,22 @@ class Matrix {
   [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
   [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
 
+  /// Reshapes to rows x cols and zero-fills, reusing the existing capacity —
+  /// a steady-state caller (e.g. a reused inference workspace) never
+  /// reallocates once its largest shape has been seen.
+  void resize_zeroed(std::size_t rows, std::size_t cols);
+
   /// this (r x k) * other (k x c) -> (r x c)
   [[nodiscard]] Matrix matmul(const Matrix& other) const;
+  /// matmul writing into `out` (resized via resize_zeroed — allocation-free
+  /// once warm).  `out` must not alias this or other.
+  void matmul_into(const Matrix& other, Matrix& out) const;
+  /// Rows [row_begin, row_end) of this * other, written into `out` as a
+  /// (row_end - row_begin) x other.cols() block.  Bit-identical to the same
+  /// rows of matmul(other); safe to call concurrently on disjoint row ranges
+  /// with distinct `out` targets.
+  void matmul_rows_into(const Matrix& other, std::size_t row_begin, std::size_t row_end,
+                        Matrix& out) const;
   [[nodiscard]] Matrix transpose() const;
 
   Matrix& add_inplace(const Matrix& other);

@@ -23,6 +23,20 @@ Matrix Mlp::forward(const Matrix& x) {
   return h;
 }
 
+const Matrix& Mlp::forward_rows(const Matrix& x, std::size_t row_begin,
+                                std::size_t row_end,
+                                std::vector<Matrix>& scratch) const {
+  if (scratch.size() < dense_.size()) scratch.resize(dense_.size());
+  for (std::size_t i = 0; i < dense_.size(); ++i) {
+    const Matrix& in = i == 0 ? x : scratch[i - 1];
+    const std::size_t begin = i == 0 ? row_begin : 0;
+    const std::size_t end = i == 0 ? row_end : in.rows();
+    dense_[i].forward_rows_into(in, begin, end, scratch[i]);
+    acts_[i].forward_inplace(scratch[i]);
+  }
+  return scratch[dense_.size() - 1];
+}
+
 Matrix Mlp::backward(const Matrix& dy) {
   Matrix g = dy;
   for (std::size_t i = dense_.size(); i-- > 0;) {

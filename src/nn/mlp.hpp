@@ -20,6 +20,14 @@ class Mlp {
   Mlp(MlpConfig cfg, Rng& rng, std::string name = "mlp");
 
   Matrix forward(const Matrix& x);
+  /// Inference-only forward over rows [row_begin, row_end) of x.  `scratch`
+  /// supplies one reusable buffer per layer (resized on first use, then
+  /// allocation-free); the returned reference points at scratch.back().
+  /// Caches nothing and mutates no member state, so disjoint row blocks may
+  /// run concurrently with distinct scratch vectors; bit-identical to the
+  /// same rows of forward(x).
+  const Matrix& forward_rows(const Matrix& x, std::size_t row_begin, std::size_t row_end,
+                             std::vector<Matrix>& scratch) const;
   /// Returns dL/dX given dL/dY (through the output activation).
   Matrix backward(const Matrix& dy);
 

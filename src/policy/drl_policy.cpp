@@ -82,22 +82,48 @@ DrlPolicy::DrlPolicy(DrlPolicyConfig cfg, nn::Rng& rng)
       trunk_act_(nn::Activation::kTanh),
       actor_(actor_head_config(cfg_), rng, "ac.actor") {}
 
-nn::Rng& DrlPolicy::init_scratch_rng() {
-  // Layer construction needs an RNG, but a restored policy overwrites every
-  // weight from the blob immediately after — the draws never matter.
-  static thread_local nn::Rng scratch(0);
-  return scratch;
-}
+DrlPolicy::DrlPolicy(DrlPolicyConfig cfg, nn::Rng&& scratch_rng)
+    : DrlPolicy(cfg, scratch_rng) {}
 
 DrlPolicy::DrlPolicy(const DrlCheckpoint& checkpoint)
-    : DrlPolicy(checkpoint.config, init_scratch_rng()) {
+    // Every checkpoint-restored policy owns its throwaway init RNG: the
+    // draws are overwritten by the blob below, and no state is shared with
+    // other policies loaded on the same thread (a fixed seed keeps even the
+    // transient pre-load weights deterministic).
+    : DrlPolicy(checkpoint.config, nn::Rng(0)) {
   std::istringstream in(checkpoint.blob);
   std::vector<nn::Parameter> params = parameters();
   nn::load_parameters(in, params);
 }
 
-nn::Matrix DrlPolicy::forward_logits(const nn::Matrix& states) {
-  return actor_.forward(trunk_act_.forward(trunk_.forward(states)));
+std::unique_ptr<Policy::Workspace> DrlPolicy::make_workspace() const {
+  return std::make_unique<BatchWorkspace>();
+}
+
+void DrlPolicy::decide_rows(const nn::Matrix& obs, std::size_t row_begin,
+                            std::size_t row_end, std::span<std::size_t> actions,
+                            Workspace& ws) const {
+  check_rows(obs, row_begin, row_end, actions);
+  if (obs.rows() == 0 || row_begin == row_end) return;
+  if (obs.cols() != cfg_.state_dim) {
+    throw std::invalid_argument("DrlPolicy::decide_rows: state dim mismatch");
+  }
+  auto* scratch = dynamic_cast<BatchWorkspace*>(&ws);
+  if (scratch == nullptr) {
+    throw std::invalid_argument(
+        "DrlPolicy::decide_rows: workspace was not created by make_workspace()");
+  }
+  trunk_.forward_rows_into(obs, row_begin, row_end, scratch->trunk);
+  trunk_act_.forward_inplace(scratch->trunk);
+  const nn::Matrix& logits =
+      actor_.forward_rows(scratch->trunk, 0, scratch->trunk.rows(), scratch->head);
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < cfg_.action_count; ++a) {
+      if (logits(i, a) > logits(i, best)) best = a;
+    }
+    actions[row_begin + i] = best;
+  }
 }
 
 std::size_t DrlPolicy::decide(std::span<const double> obs) {
@@ -106,12 +132,9 @@ std::size_t DrlPolicy::decide(std::span<const double> obs) {
   }
   nn::Matrix s(1, cfg_.state_dim);
   for (std::size_t c = 0; c < cfg_.state_dim; ++c) s(0, c) = obs[c];
-  const nn::Matrix logits = forward_logits(s);
-  std::size_t best = 0;
-  for (std::size_t a = 1; a < cfg_.action_count; ++a) {
-    if (logits(0, a) > logits(0, best)) best = a;
-  }
-  return best;
+  std::size_t action = 0;
+  decide_rows(s, 0, 1, std::span<std::size_t>(&action, 1), scratch_);
+  return action;
 }
 
 void DrlPolicy::decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions) {
@@ -122,14 +145,7 @@ void DrlPolicy::decide_batch(const nn::Matrix& obs, std::span<std::size_t> actio
   if (obs.cols() != cfg_.state_dim) {
     throw std::invalid_argument("DrlPolicy::decide_batch: state dim mismatch");
   }
-  const nn::Matrix logits = forward_logits(obs);
-  for (std::size_t i = 0; i < logits.rows(); ++i) {
-    std::size_t best = 0;
-    for (std::size_t a = 1; a < cfg_.action_count; ++a) {
-      if (logits(i, a) > logits(i, best)) best = a;
-    }
-    actions[i] = best;
-  }
+  decide_rows(obs, 0, obs.rows(), actions, scratch_);
 }
 
 DrlCheckpoint DrlPolicy::checkpoint() {

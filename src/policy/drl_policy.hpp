@@ -6,6 +6,14 @@
 // pass over a (hubs x state_dim) matrix turns per-hub matrix-vector products
 // into matrix-matrix GEMMs across the whole fleet slot.
 //
+// Every decision path funnels through decide_rows(): a const row-block
+// forward whose scratch lives entirely in the caller's workspace (the
+// nn layers' inference-only forward_rows paths cache nothing), so several
+// worker threads can shard one observation matrix across one shared actor —
+// each with its own workspace — and reproduce the full-batch GEMM bit for
+// bit.  decide() and decide_batch() are thin wrappers over the same kernel
+// using a member workspace.
+//
 // Weights travel as a DrlCheckpoint — the network shape plus an nn/serialize
 // parameter blob.  The parameter names mirror rl::ActorCritic ("ac.trunk",
 // "ac.actor.*"), so a checkpoint exported from a trained PPO policy loads
@@ -19,6 +27,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +67,13 @@ class DrlPolicy final : public Policy {
   /// Bit-identical per row to decide() on that row (the GEMM accumulates
   /// each output element in the same order regardless of batch size).
   void decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions) override;
+  /// Row-block forward: actions[row_begin, row_end) from the same rows of
+  /// `obs`, bit-identical to decide_batch on the whole matrix.  Const and
+  /// workspace-confined — disjoint row blocks may run concurrently on one
+  /// shared instance (`ws` must come from make_workspace()).
+  void decide_rows(const nn::Matrix& obs, std::size_t row_begin, std::size_t row_end,
+                   std::span<std::size_t> actions, Workspace& ws) const override;
+  [[nodiscard]] std::unique_ptr<Workspace> make_workspace() const override;
 
   [[nodiscard]] std::string name() const override { return "ECT-DRL"; }
   [[nodiscard]] bool stateless() const override { return true; }
@@ -69,14 +85,27 @@ class DrlPolicy final : public Policy {
   [[nodiscard]] const DrlPolicyConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Reusable forward scratch: the trunk activation block plus one buffer
+  /// per actor-head layer.  All call-local state lives here, never in the
+  /// layers, which is what makes decide_rows const and thread-safe.
+  struct BatchWorkspace final : Workspace {
+    nn::Matrix trunk;               ///< row-block x trunk_dim (tanh in place)
+    std::vector<nn::Matrix> head;   ///< actor MLP layer outputs
+  };
+
+  /// Layer construction needs an RNG even when every weight is about to be
+  /// overwritten from a checkpoint blob; this overload lets the restoring
+  /// constructor delegate with a policy-local throwaway Rng instead of any
+  /// shared scratch state.
+  DrlPolicy(DrlPolicyConfig cfg, nn::Rng&& scratch_rng);
+
   [[nodiscard]] static DrlPolicyConfig validated(DrlPolicyConfig cfg);
-  [[nodiscard]] static nn::Rng& init_scratch_rng();
-  [[nodiscard]] nn::Matrix forward_logits(const nn::Matrix& states);
 
   DrlPolicyConfig cfg_;
   nn::Dense trunk_;
   nn::ActivationLayer trunk_act_;
   nn::Mlp actor_;  ///< -> logits
+  BatchWorkspace scratch_;  ///< backs the non-const decide/decide_batch wrappers
 };
 
 }  // namespace ecthub::policy

@@ -8,11 +8,19 @@
 // takes a (hubs x state_dim) matrix and fills one action per row, so a
 // neural policy can replace per-hub matrix-vector products with a single
 // matrix-matrix forward pass across the whole fleet slot.
+//
+// Stateless policies additionally expose decide_rows(): a const, thread-safe
+// row-block form of decide_batch that several workers can call concurrently
+// on disjoint row ranges of one shared observation matrix — the contract the
+// lockstep fleet runner's worker-GEMM phase B builds on.  Per-call scratch
+// lives in a caller-owned Workspace (one per calling thread, reused across
+// slots) so the steady-state path stays allocation-free.
 #pragma once
 
 #include "nn/matrix.hpp"
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 
@@ -20,6 +28,15 @@ namespace ecthub::policy {
 
 class Policy {
  public:
+  /// Opaque per-caller scratch for decide_rows().  Callers create one per
+  /// thread via make_workspace() and pass it to every call; a policy
+  /// downcasts to its own derived workspace type.  Reusing one workspace
+  /// across calls keeps the steady-state batched path allocation-free.
+  class Workspace {
+   public:
+    virtual ~Workspace() = default;
+  };
+
   virtual ~Policy() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -38,6 +55,23 @@ class Policy {
   /// stateful policies must stay one-instance-per-hub.
   virtual void decide_batch(const nn::Matrix& obs, std::span<std::size_t> actions);
 
+  /// Fresh scratch for decide_rows(); one per calling thread.  The base
+  /// workspace is empty — policies whose row kernel needs buffers (DrlPolicy)
+  /// return their own derived type.
+  [[nodiscard]] virtual std::unique_ptr<Workspace> make_workspace() const;
+
+  /// Row-block batched decisions: computes actions[row_begin, row_end) from
+  /// the same rows of `obs` (a full-batch matrix — `actions` spans all of
+  /// it), bit-identical to what decide_batch would put there.  Only
+  /// stateless() policies support it; the kernel is const and touches no
+  /// member state, so disjoint row blocks may run concurrently on one shared
+  /// instance as long as each caller passes its own workspace.  The default
+  /// implementation throws std::logic_error (stateful policies must stay
+  /// one-instance-per-hub and use decide/decide_batch).
+  virtual void decide_rows(const nn::Matrix& obs, std::size_t row_begin,
+                           std::size_t row_end, std::span<std::size_t> actions,
+                           Workspace& ws) const;
+
   /// Resets per-episode state; called after every env reset.  Stateless
   /// policies ignore it.  Cross-episode knowledge (e.g. a learned diurnal
   /// price curve) deliberately survives — only within-episode trackers clear.
@@ -47,6 +81,12 @@ class Policy {
   /// instance may serve many hubs and decide_batch() may mix rows from
   /// different hubs in one call.
   [[nodiscard]] virtual bool stateless() const { return false; }
+
+ protected:
+  /// Shared argument validation for decide_rows overrides: the range must
+  /// lie inside obs and actions must span the full batch.
+  static void check_rows(const nn::Matrix& obs, std::size_t row_begin,
+                         std::size_t row_end, std::span<const std::size_t> actions);
 };
 
 }  // namespace ecthub::policy

@@ -15,16 +15,35 @@ bool in_window(double hour, double start, double end) {
 
 std::size_t NoBatteryPolicy::decide(std::span<const double>) { return 0; }
 
+void NoBatteryPolicy::decide_rows(const nn::Matrix& obs, std::size_t row_begin,
+                                  std::size_t row_end, std::span<std::size_t> actions,
+                                  Workspace&) const {
+  check_rows(obs, row_begin, row_end, actions);
+  for (std::size_t i = row_begin; i < row_end; ++i) actions[i] = 0;
+}
+
 TouPolicy::TouPolicy(ObservationLayout layout, double charge_start, double charge_end,
                      double discharge_start, double discharge_end)
     : layout_(layout), cs_(charge_start), ce_(charge_end), ds_(discharge_start),
       de_(discharge_end) {}
 
-std::size_t TouPolicy::decide(std::span<const double> obs) {
+std::size_t TouPolicy::decide_obs(std::span<const double> obs) const {
   const double hour = layout_.hour_of_day(obs);
   if (in_window(hour, cs_, ce_)) return 1;  // charge off-peak
   if (in_window(hour, ds_, de_)) return 2;  // discharge at peak
   return 0;
+}
+
+std::size_t TouPolicy::decide(std::span<const double> obs) { return decide_obs(obs); }
+
+void TouPolicy::decide_rows(const nn::Matrix& obs, std::size_t row_begin,
+                            std::size_t row_end, std::span<std::size_t> actions,
+                            Workspace&) const {
+  check_rows(obs, row_begin, row_end, actions);
+  const double* data = obs.data().data();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    actions[i] = decide_obs(std::span<const double>(data + i * obs.cols(), obs.cols()));
+  }
 }
 
 GreedyPricePolicy::GreedyPricePolicy(ObservationLayout layout, double low_quantile,

@@ -22,6 +22,8 @@ namespace ecthub::policy {
 class NoBatteryPolicy final : public Policy {
  public:
   std::size_t decide(std::span<const double> obs) override;
+  void decide_rows(const nn::Matrix& obs, std::size_t row_begin, std::size_t row_end,
+                   std::span<std::size_t> actions, Workspace& ws) const override;
   [[nodiscard]] std::string name() const override { return "NoBattery"; }
   [[nodiscard]] bool stateless() const override { return true; }
 };
@@ -35,10 +37,14 @@ class TouPolicy final : public Policy {
                      double charge_end = 7.0, double discharge_start = 17.0,
                      double discharge_end = 22.0);
   std::size_t decide(std::span<const double> obs) override;
+  void decide_rows(const nn::Matrix& obs, std::size_t row_begin, std::size_t row_end,
+                   std::span<std::size_t> actions, Workspace& ws) const override;
   [[nodiscard]] std::string name() const override { return "TOU"; }
   [[nodiscard]] bool stateless() const override { return true; }
 
  private:
+  [[nodiscard]] std::size_t decide_obs(std::span<const double> obs) const;
+
   ObservationLayout layout_;
   double cs_, ce_, ds_, de_;
 };

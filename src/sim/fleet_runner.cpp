@@ -137,6 +137,31 @@ std::string to_string(SchedulerKind kind) {
   throw std::invalid_argument("to_string: bad SchedulerKind");
 }
 
+const std::vector<LockstepGemm>& all_lockstep_gemm_modes() {
+  static const std::vector<LockstepGemm> modes = {LockstepGemm::kCoordinator,
+                                                  LockstepGemm::kWorker};
+  return modes;
+}
+
+LockstepGemm lockstep_gemm_from_string(const std::string& name) {
+  std::string key(name.size(), '\0');
+  std::transform(name.begin(), name.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const LockstepGemm mode : all_lockstep_gemm_modes()) {
+    if (key == to_string(mode)) return mode;
+  }
+  throw std::invalid_argument("lockstep_gemm_from_string: unknown mode '" + name +
+                              "' (valid, case-insensitive: coordinator|worker)");
+}
+
+std::string to_string(LockstepGemm mode) {
+  switch (mode) {
+    case LockstepGemm::kCoordinator: return "coordinator";
+    case LockstepGemm::kWorker: return "worker";
+  }
+  throw std::invalid_argument("to_string: bad LockstepGemm");
+}
+
 std::unique_ptr<policy::Policy> make_policy(
     SchedulerKind kind, std::uint64_t seed, const policy::ObservationLayout& layout,
     const std::shared_ptr<const policy::DrlCheckpoint>& checkpoint) {
@@ -431,9 +456,10 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     if (lane.own_pol) lane.action = lane.own_pol->decide(lane.state);
   };
 
-  // Phase B (coordinator only): one batched policy call per live group —
-  // the matrix-matrix fleet slot; for an ECT-DRL fleet every hub's action
-  // comes out of a single forward pass — then scatter the actions back.
+  // Phase B, coordinator placement (LockstepGemm::kCoordinator): one batched
+  // policy call per live group — the matrix-matrix fleet slot; for an
+  // ECT-DRL fleet every hub's action comes out of a single forward pass —
+  // then scatter the actions back.
   const auto phase_b = [&]() {
     for (Group& g : groups) g.any_active = false;
     for (const Lane& lane : lanes) {
@@ -485,15 +511,92 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     }
   };
 
+  // Phase B, worker placement (LockstepGemm::kWorker): group-matrix rows
+  // were assigned in lane order, so a contiguous lane partition owns one
+  // contiguous row block per group.  Each block carries its own policy
+  // workspace, so concurrent decide_rows calls on the shared instance never
+  // share scratch — and since a worker's GEMM reads and writes only rows its
+  // own phases A and C produce and consume, the slot needs no barrier
+  // between inference and env stepping.
+  struct GroupBlock {
+    std::size_t group = 0;
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+    std::unique_ptr<policy::Policy::Workspace> ws;
+    bool live = false;  ///< any active lane this slot (recomputed per slot)
+  };
+  struct WorkerPlan {
+    std::size_t lane_begin = 0;
+    std::size_t lane_end = 0;
+    std::vector<GroupBlock> blocks;               ///< non-empty row blocks only
+    std::vector<std::size_t> block_of_group;      ///< group -> block index
+  };
+  const auto make_plans = [&](std::size_t nthreads) {
+    std::vector<WorkerPlan> plans(nthreads);
+    std::vector<std::size_t> rows_before(groups.size(), 0);  // rows left of cursor
+    for (std::size_t w = 0; w < nthreads; ++w) {
+      WorkerPlan& plan = plans[w];
+      plan.lane_begin = lanes.size() * w / nthreads;
+      plan.lane_end = lanes.size() * (w + 1) / nthreads;
+      plan.block_of_group.assign(groups.size(), kNoGroup);
+      const std::vector<std::size_t> begin_rows = rows_before;
+      for (std::size_t i = plan.lane_begin; i < plan.lane_end; ++i) {
+        if (lanes[i].group != kNoGroup) ++rows_before[lanes[i].group];
+      }
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (rows_before[g] == begin_rows[g]) continue;  // no rows here
+        plan.block_of_group[g] = plan.blocks.size();
+        GroupBlock block;
+        block.group = g;
+        block.row_begin = begin_rows[g];
+        block.row_end = rows_before[g];
+        block.ws = groups[g].pol->make_workspace();
+        plan.blocks.push_back(std::move(block));
+      }
+    }
+    return plans;
+  };
+  const auto infer_partition = [&](WorkerPlan& plan) {
+    for (GroupBlock& block : plan.blocks) block.live = false;
+    for (std::size_t i = plan.lane_begin; i < plan.lane_end; ++i) {
+      const Lane& lane = lanes[i];
+      if (lane.active && lane.group != kNoGroup) {
+        plan.blocks[plan.block_of_group[lane.group]].live = true;
+      }
+    }
+    for (GroupBlock& block : plan.blocks) {
+      if (!block.live) continue;
+      Group& g = groups[block.group];
+      g.pol->decide_rows(g.obs, block.row_begin, block.row_end,
+                         std::span<std::size_t>(g.actions), *block.ws);
+    }
+    for (std::size_t i = plan.lane_begin; i < plan.lane_end; ++i) {
+      Lane& lane = lanes[i];
+      if (lane.active && lane.group != kNoGroup) {
+        lane.action = groups[lane.group].actions[lane.row];
+      }
+    }
+  };
+
   std::size_t threads = cfg_.lockstep_threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min(threads, lanes.size());
+  const bool worker_gemm = cfg_.lockstep_gemm == LockstepGemm::kWorker;
 
   if (threads <= 1) {
-    while (active_count.load(std::memory_order_relaxed) > 0) {
-      for (Lane& lane : lanes) phase_a(lane);
-      phase_b();
-      for (Lane& lane : lanes) phase_c(lane);
+    if (worker_gemm) {
+      std::vector<WorkerPlan> plans = make_plans(1);
+      while (active_count.load(std::memory_order_relaxed) > 0) {
+        for (Lane& lane : lanes) phase_a(lane);
+        infer_partition(plans[0]);
+        for (Lane& lane : lanes) phase_c(lane);
+      }
+    } else {
+      while (active_count.load(std::memory_order_relaxed) > 0) {
+        for (Lane& lane : lanes) phase_a(lane);
+        phase_b();
+        for (Lane& lane : lanes) phase_c(lane);
+      }
     }
   } else {
     // Fixed contiguous lane partitions: each lane is touched by exactly one
@@ -504,17 +607,30 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
       const std::size_t end = lanes.size() * (w + 1) / threads;
       for (std::size_t i = begin; i < end; ++i) body(lanes[i]);
     };
-    const std::function<void(std::size_t)> run_a = [&](std::size_t w) {
-      for_partition(w, phase_a);
-    };
-    const std::function<void(std::size_t)> run_c = [&](std::size_t w) {
-      for_partition(w, phase_c);
-    };
     LockstepCrew crew(threads);
-    while (active_count.load(std::memory_order_relaxed) > 0) {
-      crew.run(run_a);
-      phase_b();
-      crew.run(run_c);
+    if (worker_gemm) {
+      // One fused phase per slot: a worker's A, row-block inference and C
+      // touch only its own lanes and group-matrix rows, so the only barrier
+      // needed is the slot boundary itself.
+      std::vector<WorkerPlan> plans = make_plans(threads);
+      const std::function<void(std::size_t)> run_slot = [&](std::size_t w) {
+        for_partition(w, phase_a);
+        infer_partition(plans[w]);
+        for_partition(w, phase_c);
+      };
+      while (active_count.load(std::memory_order_relaxed) > 0) crew.run(run_slot);
+    } else {
+      const std::function<void(std::size_t)> run_a = [&](std::size_t w) {
+        for_partition(w, phase_a);
+      };
+      const std::function<void(std::size_t)> run_c = [&](std::size_t w) {
+        for_partition(w, phase_c);
+      };
+      while (active_count.load(std::memory_order_relaxed) > 0) {
+        crew.run(run_a);
+        phase_b();
+        crew.run(run_c);
+      }
     }
   }
 

@@ -25,22 +25,39 @@
 //  * Barrier semantics.  Threaded lockstep (lockstep_threads > 1) splits the
 //    lanes into fixed contiguous partitions, one per thread (the calling
 //    thread itself steps the last partition, so N configured threads are
-//    exactly N busy threads), and runs each slot as three phases separated
-//    by barriers: (A) workers reset lanes
-//    whose episode turned over and run per-hub stateful policies, (B) the
-//    coordinator fires one decide_batch per shared stateless policy group,
-//    (C) workers step their lanes, each writing the next observation into
-//    its fixed row of the group's observation matrix.  A lane is touched by
-//    exactly one thread per phase and the barriers order the phases, so the
-//    per-lane operation sequence — and therefore every result bit — is
-//    independent of lockstep_threads.  decide_batch computes each row
-//    independently (row i of a GEMM never reads row j), which is what lets
-//    finished lanes keep a stale row without disturbing the live ones.
+//    exactly N busy threads).  Where the slot's inference runs is selected
+//    by FleetRunnerConfig::lockstep_gemm:
+//
+//    - LockstepGemm::kCoordinator (the PR 4 path) runs each slot as three
+//      phases separated by barriers: (A) workers reset lanes whose episode
+//      turned over and run per-hub stateful policies, (B) the coordinator
+//      fires one decide_batch per shared stateless policy group, (C) workers
+//      step their lanes, each writing the next observation into its fixed
+//      row of the group's observation matrix.  A lane is touched by exactly
+//      one thread per phase and the barriers order the phases, so the
+//      per-lane operation sequence — and therefore every result bit — is
+//      independent of lockstep_threads.
+//
+//    - LockstepGemm::kWorker (the default) removes the serial phase-B
+//      bottleneck: lanes are assigned group-matrix rows in lane order, so a
+//      worker's contiguous lane partition owns a contiguous row block of
+//      every group's observation matrix, and each worker calls the shared
+//      policy's const decide_rows() on exactly that block with its own
+//      workspace.  Phase B then reads and writes only worker-owned rows —
+//      the same data A wrote and C will consume on the same worker — so the
+//      whole slot collapses into ONE crew phase (A, row-block GEMMs +
+//      scatter, C in sequence per worker) with a single barrier pair,
+//      halving barrier crossings while inference scales with the crew.
+//
+//    Either mode computes each observation row independently (row i of a
+//    GEMM never reads row j), which is what lets finished lanes keep a
+//    stale row without disturbing the live ones — and what makes the
+//    row-block sharding bit-identical to the whole-matrix call.
 //  * Worker exceptions are caught at the phase boundary, the crew drains,
 //    and the first error is rethrown from run_lockstep — never a deadlock.
 //
 // run(), run_lockstep(1 thread) and run_lockstep(N threads) are all
-// bit-identical on the same jobs and config.
+// bit-identical on the same jobs and config, under either LockstepGemm mode.
 #pragma once
 
 #include "core/hub_config.hpp"
@@ -72,6 +89,21 @@ enum class SchedulerKind { kNoBattery, kTou, kGreedyPrice, kForecast, kRandom, k
 /// name on anything else.
 [[nodiscard]] SchedulerKind scheduler_kind_from_string(const std::string& name);
 [[nodiscard]] std::string to_string(SchedulerKind kind);
+
+/// Where run_lockstep's per-slot batched inference executes: one coordinator
+/// decide_batch per shared policy group (the PR 4 path, kept for comparison
+/// benchmarks), or per-worker decide_rows row-blocks of the same matrices
+/// (the default — inference scales with the worker crew).  Bit-identical
+/// either way.
+enum class LockstepGemm { kCoordinator, kWorker };
+
+/// All modes in declaration order — the sweep set of the GEMM-placement bench.
+[[nodiscard]] const std::vector<LockstepGemm>& all_lockstep_gemm_modes();
+
+/// Parses "coordinator" | "worker", case-insensitively.  Throws
+/// std::invalid_argument listing the valid names on anything else.
+[[nodiscard]] LockstepGemm lockstep_gemm_from_string(const std::string& name);
+[[nodiscard]] std::string to_string(LockstepGemm mode);
 
 /// Fresh policy instance for `kind`; cheap enough to build once per worker.
 /// `seed` only matters for kRandom; `layout` must describe the observations
@@ -143,9 +175,12 @@ struct FleetRunnerConfig {
   /// Worker threads for run_lockstep()'s env-stepping phases; 0 means
   /// std::thread::hardware_concurrency(), 1 (the default) keeps lockstep
   /// single-threaded.  Any value produces bit-identical results — big
-  /// fleets get thread parallelism (env stepping) on top of batch
-  /// parallelism (one GEMM per shared stateless policy per slot).
+  /// fleets get thread parallelism (env stepping, and with
+  /// LockstepGemm::kWorker the batched inference too) on top of batch
+  /// parallelism.
   std::size_t lockstep_threads = 1;
+  /// GEMM placement for run_lockstep's batched inference (see LockstepGemm).
+  LockstepGemm lockstep_gemm = LockstepGemm::kWorker;
   std::size_t episodes_per_hub = 1;
 };
 
@@ -161,12 +196,13 @@ class FleetRunner {
   /// Lockstep execution: advances all hubs slot-by-slot and batches policy
   /// inference.  Stateless policies (TOU, no-battery, ECT-DRL) of the same
   /// kind and checkpoint share one instance fed a (hubs x state_dim)
-  /// observation matrix — one decide_batch() call per fleet slot; stateful
-  /// policies keep an instance per hub.  With lockstep_threads > 1 the
-  /// env-stepping phases are sharded across a barrier-synchronized worker
+  /// observation matrix per fleet slot; stateful policies keep an instance
+  /// per hub.  With lockstep_threads > 1 the env-stepping phases — and,
+  /// under LockstepGemm::kWorker, the batched inference itself, as per-lane-
+  /// partition row-blocks — are sharded across a barrier-synchronized worker
   /// crew (see the file comment for the phase/barrier semantics).
   /// Bit-identical to run() on the same jobs and config, at any thread
-  /// count.
+  /// count and under either GEMM placement.
   [[nodiscard]] std::vector<HubRunResult> run_lockstep(
       const std::vector<FleetJob>& jobs) const;
 

@@ -13,9 +13,12 @@
 #include "core/hub_config.hpp"
 #include "core/hub_env.hpp"
 #include "ev/station.hpp"
+#include "policy/drl_policy.hpp"
 #include "pricing/rtp.hpp"
 #include "pricing/selling.hpp"
 #include "renewables/plant.hpp"
+#include "sim/fleet_runner.hpp"
+#include "sim/scenario.hpp"
 #include "traffic/generator.hpp"
 #include "weather/weather.hpp"
 
@@ -25,7 +28,9 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <span>
 #include <vector>
 
 namespace {
@@ -159,6 +164,68 @@ TEST(AllocationAudit, PlantAndStationRegenerateAllocationFreeAfterWarmup) {
   plant.generate_into(wx, gen);
   station.simulate_into(grid, discounted, ev_rng, occ);
   EXPECT_EQ(allocations() - before, 0u);
+}
+
+TEST(AllocationAudit, DrlDecideRowsReusesItsWorkspaceAllocationFree) {
+  // The worker-GEMM inference kernel: after the first call has sized the
+  // workspace buffers (and the internal matmul scratch has seen its largest
+  // shape), repeated row-block forwards — full batch, ragged blocks, 1-row
+  // blocks — must perform zero heap allocations.
+  const policy::ObservationLayout layout;
+  nn::Rng rng(41);
+  policy::DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  policy::DrlPolicy actor(cfg, rng);
+
+  nn::Matrix obs(64, layout.dim());
+  Rng obs_rng(42);
+  for (double& x : obs.data()) x = obs_rng.uniform(0.0, 1.5);
+  std::vector<std::size_t> actions(obs.rows());
+  const auto ws = actor.make_workspace();
+
+  actor.decide_rows(obs, 0, obs.rows(), std::span<std::size_t>(actions), *ws);  // warm-up
+  const std::uint64_t before = allocations();
+  actor.decide_rows(obs, 0, obs.rows(), std::span<std::size_t>(actions), *ws);
+  actor.decide_rows(obs, 0, 17, std::span<std::size_t>(actions), *ws);
+  actor.decide_rows(obs, 17, 64, std::span<std::size_t>(actions), *ws);
+  actor.decide_rows(obs, 5, 6, std::span<std::size_t>(actions), *ws);
+  EXPECT_EQ(allocations() - before, 0u)
+      << "decide_rows allocated on a warmed workspace";
+}
+
+TEST(AllocationAudit, WorkerGemmLockstepSlotLoopAllocationFreeAfterWarmup) {
+  // The steady-state slot loop of the worker-GEMM lockstep path must not
+  // allocate: running the same DRL fleet for more episodes may not cost a
+  // single extra allocation — every allocation belongs to setup or the
+  // first-episode warm-up, none to the per-slot path (workspace reuse, no
+  // per-slot scratch growth).
+  const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
+  nn::Rng rng(123);
+  policy::DrlPolicyConfig cfg;
+  cfg.state_dim = policy::ObservationLayout{}.dim();
+  cfg.trunk_dim = 16;
+  cfg.head_dim = 8;
+  policy::DrlPolicy actor(cfg, rng);
+  const auto ckpt = std::make_shared<policy::DrlCheckpoint>(actor.checkpoint());
+  const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
+      registry, registry.keys(), 12, 2, sim::SchedulerKind::kDrl, ckpt);
+
+  const auto run_with_episodes = [&](std::size_t episodes) {
+    sim::FleetRunnerConfig runner_cfg;
+    runner_cfg.lockstep_threads = 1;
+    runner_cfg.lockstep_gemm = sim::LockstepGemm::kWorker;
+    runner_cfg.episodes_per_hub = episodes;
+    const std::uint64_t before = allocations();
+    const auto results = sim::FleetRunner(runner_cfg).run_lockstep(jobs);
+    EXPECT_EQ(results.size(), jobs.size());
+    return allocations() - before;
+  };
+
+  (void)run_with_episodes(2);  // settle any process-wide one-time buffers
+  const std::uint64_t short_run = run_with_episodes(2);
+  const std::uint64_t long_run = run_with_episodes(6);
+  EXPECT_EQ(long_run, short_run)
+      << "extra lockstep episodes allocated: the slot loop is not allocation-free";
 }
 
 TEST(AllocationAudit, PricingAndTrafficRegenerateAllocationFreeAfterWarmup) {

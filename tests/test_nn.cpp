@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace ecthub::nn {
 namespace {
@@ -40,6 +42,157 @@ TEST(Matrix, MatmulDimensionMismatchThrows) {
   const Matrix a(2, 3);
   const Matrix b(2, 3);
   EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+// Reference product in the exact accumulation order both shipping kernels
+// promise: per output element, k ascending, zero operands of A skipped.  The
+// blocked kernel must match this to the last bit, not within a tolerance.
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double av = a(i, k);
+        if (av == 0.0) continue;
+        out(i, j) += av * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+void expect_bit_equal(const Matrix& got, const Matrix& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      // EXPECT_EQ on doubles is exact — bit-identity is the contract here.
+      EXPECT_EQ(got(r, c), want(r, c)) << what << " (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// Comparison against the *test-local* reference above: exact on
+// contraction-free builds; under -DECTHUB_NATIVE=ON the compiler may fuse
+// the reference's multiply-add differently from the shipping kernels'
+// (both are correct — fused is the more precise), so the reference check
+// relaxes to a 1-ulp-scale tolerance there.  The load-bearing exact
+// identity — blocked kernel vs naive kernel — is pinned through shipping
+// code only (see BlockedAndNaiveKernelsAgreeBitExactly), which holds on
+// every build.
+void expect_matches_reference(const Matrix& got, const Matrix& want, const char* what) {
+#if defined(__FP_FAST_FMA)
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      EXPECT_NEAR(got(r, c), want(r, c),
+                  1e-13 * std::max(1.0, std::abs(want(r, c))))
+          << what << " (" << r << ", " << c << ")";
+    }
+  }
+#else
+  expect_bit_equal(got, want, what);
+#endif
+}
+
+TEST(Matrix, BlockedMatmulGoldenAboveTheThreshold) {
+  // 16 rows is comfortably above the blocked-kernel threshold; a structured
+  // integer-valued product keeps the expected values exactly representable.
+  Matrix a(16, 5);
+  Matrix b(5, 7);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      a(r, c) = static_cast<double>((r * 5 + c) % 11) - 3.0;
+    }
+  }
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      b(r, c) = static_cast<double>((r * 7 + c) % 13) - 5.0;
+    }
+  }
+  expect_bit_equal(a.matmul(b), matmul_reference(a, b), "golden 16x5 * 5x7");
+}
+
+TEST(Matrix, BlockedMatmulMatchesNaiveAcrossRandomizedShapes) {
+  // Randomized sweep across odd / tall / wide / tiny / empty shapes,
+  // including zero-entry-dense matrices that exercise the zero-skip and
+  // dimensions straddling the kernel-selection threshold and tile sizes.
+  Rng rng(20240730);
+  const std::size_t rows_set[] = {0, 1, 2, 7, 8, 9, 17, 64, 129};
+  const std::size_t inner_set[] = {1, 3, 33, 64};
+  const std::size_t cols_set[] = {1, 5, 64, 127, 128, 129, 200};
+  for (const std::size_t rows : rows_set) {
+    for (const std::size_t inner : inner_set) {
+      for (const std::size_t cols : cols_set) {
+        Matrix a(rows, inner);
+        Matrix b(inner, cols);
+        for (double& x : a.data()) {
+          x = rng.uniform(0.0, 1.0) < 0.15 ? 0.0 : rng.normal(0.0, 1.0);
+        }
+        for (double& x : b.data()) x = rng.normal(0.0, 1.0);
+        const Matrix want = matmul_reference(a, b);
+        const std::string what = std::to_string(rows) + "x" + std::to_string(inner) +
+                                 " * " + std::to_string(inner) + "x" + std::to_string(cols);
+        expect_matches_reference(a.matmul(b), want, what.c_str());
+      }
+    }
+  }
+}
+
+TEST(Matrix, MatmulRowsIntoMatchesTheFullProductRowBlocks) {
+  // Arbitrary row blocks — 1-row, ragged, threshold-straddling — of the
+  // full product must come out bit-identical, whichever kernel each side
+  // picks.  This is the sharding contract the worker-GEMM fleet path uses.
+  Rng rng(77);
+  const Matrix a = Matrix::randn(37, 12, rng);
+  const Matrix b = Matrix::randn(12, 9, rng);
+  const Matrix full = a.matmul(b);
+  const std::size_t splits[][2] = {{0, 37}, {0, 1},  {36, 37}, {0, 8},
+                                   {8, 19}, {19, 37}, {5, 6},  {13, 13}};
+  Matrix block;  // reused: exercises the capacity-reusing resize too
+  for (const auto& split : splits) {
+    a.matmul_rows_into(b, split[0], split[1], block);
+    ASSERT_EQ(block.rows(), split[1] - split[0]);
+    for (std::size_t r = split[0]; r < split[1]; ++r) {
+      for (std::size_t c = 0; c < full.cols(); ++c) {
+        EXPECT_EQ(block(r - split[0], c), full(r, c))
+            << "rows [" << split[0] << ", " << split[1] << ") at (" << r << ", " << c << ")";
+      }
+    }
+  }
+  EXPECT_THROW(a.matmul_rows_into(b, 5, 4, block), std::invalid_argument);
+  EXPECT_THROW(a.matmul_rows_into(b, 0, 38, block), std::invalid_argument);
+  EXPECT_THROW(a.matmul_rows_into(b, 0, 37, const_cast<Matrix&>(a)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, BlockedAndNaiveKernelsAgreeBitExactly) {
+  // The determinism contract through shipping code only, on EVERY build
+  // (portable or -march=native): a right-hand side big enough to select the
+  // blocked kernel for the full product, recomputed in sub-threshold row
+  // blocks that take the naive kernel — the two kernels must agree to the
+  // last bit, because per-hub decide() (naive, 1 row) and fleet-wide
+  // decide_batch (blocked) must never diverge.
+  Rng rng(4242);
+  Matrix a = Matrix::randn(67, 80, rng);
+  const Matrix b = Matrix::randn(80, 80, rng);  // 80x80x8 B = 50 KiB: blocked
+  // Sprinkle exact zeros into A so the kernels' zero-skip is exercised too.
+  Rng zrng(9);
+  for (double& x : a.data()) {
+    if (zrng.uniform(0.0, 1.0) < 0.1) x = 0.0;
+  }
+  const Matrix full = a.matmul(b);
+  Matrix block;
+  for (std::size_t r = 0; r < a.rows(); r += 3) {  // 3-row blocks: naive kernel
+    const std::size_t end = std::min(r + 3, a.rows());
+    a.matmul_rows_into(b, r, end, block);
+    for (std::size_t i = r; i < end; ++i) {
+      for (std::size_t c = 0; c < full.cols(); ++c) {
+        EXPECT_EQ(block(i - r, c), full(i, c)) << "(" << i << ", " << c << ")";
+      }
+    }
+  }
 }
 
 TEST(Matrix, TransposeRoundTrip) {

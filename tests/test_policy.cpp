@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ecthub::policy {
@@ -129,6 +131,131 @@ TEST(PolicyBatching, DecideBatchMatchesScalarForEveryKind) {
   }
 }
 
+// ----------------------------------------------- row-block decide parity
+
+// Every stateless policy must reproduce its full-batch decide_batch output
+// bit-exactly when the batch is split into arbitrary row-blocks — including
+// 1-row and ragged splits — each computed through its own workspace.  This
+// is the contract that lets the lockstep fleet shard one observation matrix
+// across a worker crew.
+TEST(PolicyRowBlocks, ArbitrarySplitsMatchFullBatchForEveryStatelessKind) {
+  const ObservationLayout layout;
+  nn::Rng drl_rng(99);
+  DrlPolicyConfig drl_cfg;
+  drl_cfg.state_dim = layout.dim();
+  drl_cfg.trunk_dim = 16;
+  drl_cfg.head_dim = 8;
+  const DrlCheckpoint ckpt = DrlPolicy(drl_cfg, drl_rng).checkpoint();
+
+  std::vector<std::unique_ptr<Policy>> policies;
+  policies.push_back(std::make_unique<NoBatteryPolicy>());
+  policies.push_back(std::make_unique<TouPolicy>(layout));
+  policies.push_back(std::make_unique<DrlPolicy>(ckpt));
+
+  constexpr std::size_t kRows = 41;  // odd on purpose: ragged split fodder
+  Rng obs_rng(13);
+  const nn::Matrix obs = fake_obs_batch(layout, obs_rng, kRows);
+  const std::vector<std::vector<std::size_t>> split_sets = {
+      {0, kRows},                          // the full batch as one block
+      {0, 1, 2, 3, kRows},                 // 1-row blocks up front
+      {0, 7, 7, 19, 40, kRows},            // ragged, including an empty block
+      {0, 40, kRows},                      // a 1-row tail
+  };
+  for (const auto& pol : policies) {
+    ASSERT_TRUE(pol->stateless()) << pol->name();
+    std::vector<std::size_t> full(kRows, 99), blocked(kRows, 99);
+    pol->decide_batch(obs, std::span<std::size_t>(full));
+    for (const std::vector<std::size_t>& splits : split_sets) {
+      std::fill(blocked.begin(), blocked.end(), 99);
+      const auto ws = pol->make_workspace();
+      ASSERT_NE(ws, nullptr) << pol->name();
+      for (std::size_t s = 0; s + 1 < splits.size(); ++s) {
+        pol->decide_rows(obs, splits[s], splits[s + 1], std::span<std::size_t>(blocked),
+                         *ws);
+      }
+      EXPECT_EQ(blocked, full) << pol->name();
+    }
+  }
+}
+
+TEST(PolicyRowBlocks, ConcurrentDisjointBlocksOnOneSharedInstanceMatch) {
+  // The threaded contract itself: several threads calling decide_rows on
+  // disjoint row-blocks of one shared instance — each with its own
+  // workspace — must reproduce the single-threaded full batch bit for bit.
+  const ObservationLayout layout;
+  nn::Rng drl_rng(7);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  cfg.trunk_dim = 16;
+  cfg.head_dim = 8;
+  const DrlCheckpoint ckpt = DrlPolicy(cfg, drl_rng).checkpoint();
+  DrlPolicy shared(ckpt);
+
+  constexpr std::size_t kRows = 67;
+  constexpr std::size_t kThreads = 4;
+  Rng obs_rng(29);
+  const nn::Matrix obs = fake_obs_batch(layout, obs_rng, kRows);
+  std::vector<std::size_t> full(kRows), threaded(kRows, 99);
+  shared.decide_batch(obs, std::span<std::size_t>(full));
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      const std::size_t begin = kRows * t / kThreads;
+      const std::size_t end = kRows * (t + 1) / kThreads;
+      const auto ws = shared.make_workspace();
+      // Two passes through the same workspace: reuse must not perturb bits.
+      shared.decide_rows(obs, begin, end, std::span<std::size_t>(threaded), *ws);
+      shared.decide_rows(obs, begin, end, std::span<std::size_t>(threaded), *ws);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(threaded, full);
+}
+
+TEST(PolicyRowBlocks, StatefulPoliciesRejectRowBlockCalls) {
+  const ObservationLayout layout;
+  Rng rng(3);
+  const nn::Matrix obs = fake_obs_batch(layout, rng, 4);
+  std::vector<std::size_t> actions(4);
+  GreedyPricePolicy greedy(layout);
+  const auto ws = greedy.make_workspace();
+  ASSERT_NE(ws, nullptr);
+  EXPECT_THROW(
+      greedy.decide_rows(obs, 0, 4, std::span<std::size_t>(actions), *ws),
+      std::logic_error);
+  RandomPolicy random(1);
+  const auto rws = random.make_workspace();
+  EXPECT_THROW(
+      random.decide_rows(obs, 0, 4, std::span<std::size_t>(actions), *rws),
+      std::logic_error);
+}
+
+TEST(PolicyRowBlocks, BadRangesAndForeignWorkspacesAreRejected) {
+  const ObservationLayout layout;
+  Rng rng(5);
+  const nn::Matrix obs = fake_obs_batch(layout, rng, 6);
+  std::vector<std::size_t> actions(6);
+  TouPolicy tou(layout);
+  const auto tou_ws = tou.make_workspace();
+  EXPECT_THROW(tou.decide_rows(obs, 4, 2, std::span<std::size_t>(actions), *tou_ws),
+               std::invalid_argument);
+  EXPECT_THROW(tou.decide_rows(obs, 0, 7, std::span<std::size_t>(actions), *tou_ws),
+               std::invalid_argument);
+  std::vector<std::size_t> too_few(3);
+  EXPECT_THROW(tou.decide_rows(obs, 0, 3, std::span<std::size_t>(too_few), *tou_ws),
+               std::invalid_argument);
+
+  nn::Rng drl_rng(11);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  DrlPolicy drl(cfg, drl_rng);
+  // A base (TOU) workspace is not a DRL forward scratch.
+  EXPECT_THROW(drl.decide_rows(obs, 0, 6, std::span<std::size_t>(actions), *tou_ws),
+               std::invalid_argument);
+}
+
 TEST(PolicyBatching, ActionSpanSizeMismatchThrows) {
   const ObservationLayout layout;
   Rng rng(3);
@@ -200,6 +327,57 @@ TEST(DrlPolicy, CheckpointRoundTripsThroughAStream) {
     const auto obs = fake_obs(layout, obs_rng, static_cast<double>(i % 24));
     EXPECT_EQ(original.decide(obs), restored.decide(obs)) << "obs " << i;
   }
+}
+
+TEST(DrlPolicy, CheckpointLoadsAreIndependentOfThreadLoadHistory) {
+  // Regression test: checkpoint restoration used to draw its throwaway init
+  // weights from one `static thread_local` RNG shared by every policy loaded
+  // on that thread, so a restored policy's construction consumed state that
+  // other loads depended on.  Each load now owns a fixed-seed RNG, so a
+  // restored policy is a pure function of its checkpoint: every load — first
+  // or hundredth on a thread, interleaved with other shapes, or on a fresh
+  // thread — must reproduce the source weights bit for bit.
+  const ObservationLayout layout;
+  nn::Rng rng(2718);
+  DrlPolicyConfig cfg;
+  cfg.state_dim = layout.dim();
+  cfg.trunk_dim = 16;
+  cfg.head_dim = 8;
+  DrlPolicy source(cfg, rng);
+  const DrlCheckpoint ckpt = source.checkpoint();
+
+  const auto expect_matches_source = [&](DrlPolicy& restored, const char* what) {
+    auto got = restored.parameters();
+    auto want = source.parameters();
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t p = 0; p < want.size(); ++p) {
+      ASSERT_EQ(got[p].name, want[p].name) << what;
+      ASSERT_EQ(got[p].value->data().size(), want[p].value->data().size()) << what;
+      for (std::size_t i = 0; i < want[p].value->data().size(); ++i) {
+        EXPECT_EQ(got[p].value->data()[i], want[p].value->data()[i])
+            << what << ": " << want[p].name << "[" << i << "]";
+      }
+    }
+  };
+
+  // Interleave loads of a different architecture so any shared RNG state
+  // would be advanced by a different number of draws between loads.
+  DrlPolicyConfig other_cfg = cfg;
+  other_cfg.trunk_dim = 24;
+  other_cfg.head_dim = 4;
+  nn::Rng other_rng(4);
+  const DrlCheckpoint other_ckpt = DrlPolicy(other_cfg, other_rng).checkpoint();
+
+  DrlPolicy first(ckpt);
+  DrlPolicy interloper(other_ckpt);
+  DrlPolicy second(ckpt);
+  expect_matches_source(first, "first load");
+  expect_matches_source(second, "load after an interleaved different shape");
+
+  std::unique_ptr<DrlPolicy> threaded;
+  std::thread loader([&] { threaded = std::make_unique<DrlPolicy>(ckpt); });
+  loader.join();
+  expect_matches_source(*threaded, "load on a fresh thread");
 }
 
 TEST(DrlPolicy, LoadRejectsGarbageAndMismatchedBlobs) {

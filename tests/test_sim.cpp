@@ -415,11 +415,12 @@ std::vector<HubRunResult> run_lockstep_fleet(const std::vector<FleetJob>& jobs,
   return FleetRunner(cfg).run_lockstep(jobs);
 }
 
-TEST(LockstepDeterminism, ThreeWayBitIdentity64HubsAllScenariosAllSchedulers) {
+TEST(LockstepDeterminism, FourWayBitIdentity64HubsAllScenariosAllSchedulers) {
   // The determinism harness of the threaded engine: a 64-hub fleet covering
-  // every built-in scenario and every scheduler kind, executed three ways —
-  // per-hub run(), single-threaded lockstep and 8-thread lockstep — must
-  // produce bit-identical per-hub episode checksums across all three paths.
+  // every built-in scenario and every scheduler kind, executed four ways —
+  // per-hub run(), single-threaded lockstep, 8-thread lockstep with the
+  // coordinator GEMM and 8-thread lockstep with worker row-block GEMMs —
+  // must produce bit-identical per-hub episode checksums across all paths.
   const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
   const auto ckpt = tiny_checkpoint();
   const std::vector<std::string>& keys = reg.keys();
@@ -450,10 +451,52 @@ TEST(LockstepDeterminism, ThreeWayBitIdentity64HubsAllScenariosAllSchedulers) {
   const auto per_hub = FleetRunner(cfg).run(jobs);
   const auto lockstep_1 = FleetRunner(cfg).run_lockstep(jobs);
   cfg.lockstep_threads = 8;
-  const auto lockstep_8 = FleetRunner(cfg).run_lockstep(jobs);
+  cfg.lockstep_gemm = LockstepGemm::kCoordinator;
+  const auto lockstep_8_coord = FleetRunner(cfg).run_lockstep(jobs);
+  cfg.lockstep_gemm = LockstepGemm::kWorker;
+  const auto lockstep_8_worker = FleetRunner(cfg).run_lockstep(jobs);
 
   expect_results_bit_identical(per_hub, lockstep_1);
-  expect_results_bit_identical(lockstep_1, lockstep_8);
+  expect_results_bit_identical(lockstep_1, lockstep_8_coord);
+  expect_results_bit_identical(lockstep_8_coord, lockstep_8_worker);
+}
+
+TEST(LockstepDeterminism, GemmPlacementIsBitIdenticalAtEveryThreadCount) {
+  // The two phase-B placements across 1/2/5 workers on a mixed fleet: every
+  // combination must reproduce the same ledgers — worker row-block GEMMs are
+  // an execution detail, never a numerics change.
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  const auto ckpt = tiny_checkpoint();
+  std::vector<FleetJob> jobs;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kDrl, SchedulerKind::kTou, SchedulerKind::kGreedyPrice}) {
+    const auto batch = make_fleet_jobs(reg, reg.keys(), 5, 2, kind,
+                                       kind == SchedulerKind::kDrl ? ckpt : nullptr);
+    jobs.insert(jobs.end(), batch.begin(), batch.end());
+  }
+  FleetRunnerConfig cfg;
+  cfg.episodes_per_hub = 2;
+  cfg.lockstep_threads = 1;
+  cfg.lockstep_gemm = LockstepGemm::kCoordinator;
+  const auto reference = FleetRunner(cfg).run_lockstep(jobs);
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    for (const LockstepGemm mode : all_lockstep_gemm_modes()) {
+      cfg.lockstep_threads = threads;
+      cfg.lockstep_gemm = mode;
+      const auto got = FleetRunner(cfg).run_lockstep(jobs);
+      expect_results_bit_identical(reference, got);
+    }
+  }
+}
+
+TEST(LockstepDeterminism, GemmModeNamesRoundTrip) {
+  EXPECT_EQ(all_lockstep_gemm_modes().size(), 2u);
+  for (const LockstepGemm mode : all_lockstep_gemm_modes()) {
+    EXPECT_EQ(lockstep_gemm_from_string(to_string(mode)), mode);
+  }
+  EXPECT_EQ(lockstep_gemm_from_string("Coordinator"), LockstepGemm::kCoordinator);
+  EXPECT_EQ(lockstep_gemm_from_string("WORKER"), LockstepGemm::kWorker);
+  EXPECT_THROW((void)lockstep_gemm_from_string("gpu"), std::invalid_argument);
 }
 
 TEST(FleetRunnerLockstep, OversubscribedThreadsMatchSerial) {
