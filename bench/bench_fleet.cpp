@@ -29,6 +29,12 @@
 // pull ahead, and every cell is cross-checked bit-identical to the per-hub
 // reference.
 //
+// Part 5 prices the metro coupling layer: the same spatially generated
+// fleet runs uncoupled and coupled (per-slot CouplingBus exchange plus the
+// correlated weather/outage fronts), reporting the throughput cost and the
+// routed spillover, with the coupled run cross-checked bit-identical across
+// thread counts and both GEMM placements.
+//
 //   $ ./bench_fleet [--hubs 64] [--days 4] [--episodes 1]
 //                   [--threads-list 1,2,4,8] [--base-seed 7]
 //                   [--drl-iters 3] [--inference-reps 200]
@@ -38,8 +44,11 @@
 #include "core/fleet.hpp"
 #include "policy/drl_policy.hpp"
 #include "sim/fleet_runner.hpp"
+#include "sim/metro.hpp"
 #include "sim/scenario.hpp"
+#include "spatial/metro.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -73,7 +82,9 @@ bool results_identical(const std::vector<ecthub::sim::HubRunResult>& a,
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].profit != b[i].profit || a[i].revenue != b[i].revenue ||
-        a[i].soc.checksum != b[i].soc.checksum) {
+        a[i].soc.checksum != b[i].soc.checksum ||
+        a[i].spill_exported_kwh != b[i].spill_exported_kwh ||
+        a[i].spill_served_kwh != b[i].spill_served_kwh) {
       return false;
     }
   }
@@ -313,5 +324,98 @@ int main(int argc, char** argv) {
   gemm_table.print(std::cout);
   std::cout << "(serial coordinator reference: " << drl_serial_ms << " ms; worker "
             << "speedup > 1 needs real cores — see hardware core count above)\n";
+
+  // --- Part 5: metro coupling — coupled vs uncoupled throughput/spillover --
+  // The same spatially generated fleet twice: once uncoupled (coupling
+  // stripped, the pre-metro hot path) and once coupled (through-traffic,
+  // CouplingBus exchange at every slot barrier, correlated fronts).  The
+  // delta is the price of the coupling layer; the spillover columns are what
+  // it buys.  The coupled run must be bit-identical across thread counts and
+  // both GEMM placements.
+  if (hubs < 2) {
+    std::cout << "\n(skipping metro coupling part: needs --hubs >= 2)\n";
+    return 0;
+  }
+  std::cout << "\n=== Metro coupling: " << hubs << " hubs, greedy fleet ===\n";
+  spatial::MetroConfig metro_cfg;
+  metro_cfg.num_hubs = hubs;
+  metro_cfg.neighbors_per_hub = std::min<std::size_t>(3, hubs - 1);
+  const spatial::MetroMap metro(metro_cfg, base_seed);
+  const std::vector<sim::FleetJob> coupled_jobs = sim::make_metro_fleet_jobs(
+      metro, registry, registry.keys(), days, sim::SchedulerKind::kGreedyPrice);
+  std::vector<sim::FleetJob> uncoupled_jobs = coupled_jobs;
+  for (sim::FleetJob& job : uncoupled_jobs) {
+    job.env.coupling = core::HubCouplingConfig{};
+    job.neighbors.clear();
+  }
+
+  std::vector<sim::HubRunResult> coupled_ref, uncoupled_results;
+  const double coupled_ms = timed_run(coupled_jobs, 1, true, coupled_ref);
+  const double uncoupled_ms = timed_run(uncoupled_jobs, 1, true, uncoupled_results);
+
+  const std::size_t crew = thread_list.empty()
+                               ? 1
+                               : *std::max_element(thread_list.begin(), thread_list.end());
+  std::vector<sim::HubRunResult> coupled_worker, coupled_coord;
+  const double coupled_worker_ms =
+      timed_run_gemm(coupled_jobs, crew, true, sim::LockstepGemm::kWorker, coupled_worker);
+  const double coupled_coord_ms = timed_run_gemm(coupled_jobs, crew, true,
+                                                 sim::LockstepGemm::kCoordinator,
+                                                 coupled_coord);
+  if (!results_identical(coupled_worker, coupled_ref) ||
+      !results_identical(coupled_coord, coupled_ref)) {
+    std::cerr << "DETERMINISM VIOLATION: coupled fleet differs across threads/GEMM\n";
+    return 1;
+  }
+
+  const auto spill_totals = [](const std::vector<sim::HubRunResult>& results) {
+    double exported = 0.0, served = 0.0;
+    std::size_t outages = 0;
+    for (const sim::HubRunResult& r : results) {
+      exported += r.spill_exported_kwh;
+      served += r.spill_served_kwh;
+      outages += r.outage_slots;
+    }
+    return std::tuple<double, double, std::size_t>{exported, served, outages};
+  };
+  const auto [coupled_out, coupled_in, coupled_outages] = spill_totals(coupled_ref);
+
+  TextTable metro_table({"mode", "wall ms", "kslots/s", "spill-out(kWh)", "spill-in(kWh)",
+                         "outage slots", "bit-identical"});
+  metro_table.begin_row()
+      .add("uncoupled x1")
+      .add_double(uncoupled_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / uncoupled_ms, 1)
+      .add_double(0.0, 1)
+      .add_double(0.0, 1)
+      .add_int(0)
+      .add("reference");
+  metro_table.begin_row()
+      .add("coupled x1")
+      .add_double(coupled_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / coupled_ms, 1)
+      .add_double(coupled_out, 1)
+      .add_double(coupled_in, 1)
+      .add_int(static_cast<long long>(coupled_outages))
+      .add("reference");
+  metro_table.begin_row()
+      .add("coupled x" + std::to_string(crew) + " worker")
+      .add_double(coupled_worker_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / coupled_worker_ms, 1)
+      .add_double(coupled_out, 1)
+      .add_double(coupled_in, 1)
+      .add_int(static_cast<long long>(coupled_outages))
+      .add("yes");
+  metro_table.begin_row()
+      .add("coupled x" + std::to_string(crew) + " coordinator")
+      .add_double(coupled_coord_ms, 1)
+      .add_double(static_cast<double>(hubs * slots) / coupled_coord_ms, 1)
+      .add_double(coupled_out, 1)
+      .add_double(coupled_in, 1)
+      .add_int(static_cast<long long>(coupled_outages))
+      .add("yes");
+  metro_table.print(std::cout);
+  std::cout << "(coupling overhead: " << (coupled_ms / uncoupled_ms - 1.0) * 100.0
+            << "% on the serial slot loop)\n";
   return 0;
 }

@@ -28,17 +28,20 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 # Job 4 rebuilds under ThreadSanitizer and runs the sim-engine suite (the
-# threaded per-hub runner, the barrier-synchronized lockstep crew, and the
-# four-way run/lockstep×1/coordinator-GEMM/worker-GEMM identity harness —
-# LockstepDeterminism.* matches the Lockstep filter below) plus the DRL
-# lockstep smoke, so every push exercises the lockstep barriers and the
-# concurrent row-block decide_rows path under TSan as well as ASan.
-echo "==> Job 4: TSan lockstep (test_sim + DRL lockstep smoke)"
+# threaded per-hub runner, the barrier-synchronized lockstep crew, the
+# four-way run/lockstep×1/coordinator-GEMM/worker-GEMM identity harness and
+# the coupled-metro identity harness — LockstepDeterminism.* and
+# CouplingBus.* match the filter below) plus the DRL and metro smokes, so
+# every push exercises the lockstep barriers, the concurrent row-block
+# decide_rows path and the slot-barrier CouplingBus exchange under TSan as
+# well as ASan (the ASan job above runs the full suite including both
+# smokes).
+echo "==> Job 4: TSan lockstep (test_sim + DRL/metro lockstep smokes)"
 cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
-  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|AggregateReport|city_sweep_drl' \
+  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|city_sweep_drl|city_sweep_metro' \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 echo "==> CI green"

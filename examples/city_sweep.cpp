@@ -20,6 +20,7 @@
 //   $ ./city_sweep --scheduler drl --lockstep --lockstep-threads 8
 //   $ ./city_sweep --scheduler drl --lockstep-threads 8 --lockstep-gemm coordinator
 //   $ ./city_sweep --scheduler drl --drl-checkpoint actor.ckpt --drl-iters 8
+//   $ ./city_sweep --metro 16 --scheduler all       # coupled metro fleet
 //   $ ./city_sweep --list                           # show the registry
 //
 // --lockstep-threads N shards the lockstep env-stepping phases across N
@@ -28,12 +29,21 @@
 // (default worker) picks where the per-slot batched inference runs: sharded
 // across the worker crew as row-block GEMMs, or as the single coordinator
 // GEMM — also bit-identical, so the flag is purely a performance choice.
+//
+// --metro N replaces the i.i.d. hub bag with a spatially generated metro of
+// N hubs (MetroMap seeded from --base-seed): sites derive from base-station
+// density on a synthetic road network, demand spills between road-graph
+// neighbors at every slot barrier, and weather/outage fronts are correlated
+// across the metro.  Coupled fleets are lockstep-only, so --metro implies
+// --lockstep; results stay bit-identical at any --lockstep-threads.
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
 #include "sim/fleet_runner.hpp"
+#include "sim/metro.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
+#include "spatial/metro.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -42,6 +52,7 @@
 #include <iostream>
 #include <iterator>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -128,10 +139,16 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("threads", 0)));  // 0 = hardware concurrency
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
+  const bool metro_mode = flags.has("metro");
+  const std::size_t metro_hubs = metro_mode ? require_positive("metro", 0) : 0;
+  if (metro_mode && metro_hubs < 2) {
+    std::cerr << "city_sweep: --metro needs at least 2 hubs\n";
+    return 1;
+  }
   // An explicit --lockstep-threads would be silently ignored by the per-hub
-  // path, so it implies --lockstep.
+  // path, so it implies --lockstep; a coupled metro *requires* lockstep.
   const bool lockstep = flags.get_bool("lockstep") || flags.has("lockstep-threads") ||
-                        flags.has("lockstep-gemm");
+                        flags.has("lockstep-gemm") || metro_mode;
   const auto lockstep_threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("lockstep-threads", 1)));  // 0 = hardware concurrency
   sim::LockstepGemm lockstep_gemm = sim::LockstepGemm::kWorker;
@@ -175,6 +192,17 @@ int main(int argc, char** argv) {
     expanded.insert(expanded.end(), hubs_per_scenario, key);
   }
 
+  // Metro mode: a spatially generated coupled fleet instead of the i.i.d.
+  // bag.  The map is a pure function of (config, base_seed), so reruns are
+  // bit-reproducible, and every scheduler kind sweeps the same metro.
+  std::optional<spatial::MetroMap> metro;
+  if (metro_mode) {
+    spatial::MetroConfig metro_cfg;
+    metro_cfg.num_hubs = metro_hubs;
+    metro_cfg.neighbors_per_hub = std::min<std::size_t>(3, metro_hubs - 1);
+    metro.emplace(metro_cfg, base_seed);
+  }
+
   sim::FleetRunnerConfig runner_cfg;
   runner_cfg.base_seed = base_seed;
   runner_cfg.threads = threads;
@@ -183,9 +211,11 @@ int main(int argc, char** argv) {
   runner_cfg.episodes_per_hub = episodes;
   const sim::FleetRunner runner(runner_cfg);
 
-  std::cout << "=== City sweep: " << expanded.size() << " hubs, " << scenario_keys.size()
+  const std::size_t fleet_size = metro ? metro->hubs().size() : expanded.size();
+  std::cout << "=== City sweep: " << fleet_size << " hubs, " << scenario_keys.size()
             << " scenarios, " << episodes << " episode(s) x " << days
             << " day(s), scheduler=" << scheduler_arg;
+  if (metro) std::cout << ", metro-coupled";
   if (lockstep) {
     std::cout << ", lockstep-batched ("
               << (lockstep_threads == 0 ? std::string("hw")
@@ -194,11 +224,25 @@ int main(int argc, char** argv) {
   }
   std::cout << " ===\n\n";
 
+  if (metro) {
+    std::size_t urban = 0;
+    for (const spatial::MetroHub& h : metro->hubs()) urban += h.urban ? 1 : 0;
+    std::cout << "metro: " << metro->hubs().size() << " hubs (" << urban << " urban, "
+              << (metro->hubs().size() - urban) << " rural), "
+              << metro->config().neighbors_per_hub << " neighbors/hub over "
+              << metro->roads().total_length() << " km of roads, seed " << base_seed
+              << ", checksum " << metro->checksum() << "\n\n";
+  }
+
   std::vector<sim::HubRunResult> results;
   for (const sim::SchedulerKind kind : kinds) {
-    const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
-        registry, expanded, expanded.size(), days, kind,
-        kind == sim::SchedulerKind::kDrl ? checkpoint : nullptr);
+    const std::shared_ptr<const policy::DrlCheckpoint> kind_ckpt =
+        kind == sim::SchedulerKind::kDrl ? checkpoint : nullptr;
+    const std::vector<sim::FleetJob> jobs =
+        metro ? sim::make_metro_fleet_jobs(*metro, registry, scenario_keys, days, kind,
+                                           kind_ckpt)
+              : sim::make_fleet_jobs(registry, expanded, expanded.size(), days, kind,
+                                     kind_ckpt);
     std::vector<sim::HubRunResult> batch =
         lockstep ? runner.run_lockstep(jobs) : runner.run(jobs);
     results.insert(results.end(), std::make_move_iterator(batch.begin()),
@@ -211,5 +255,23 @@ int main(int argc, char** argv) {
   report.scenario_table().print(std::cout);
   std::cout << "\n--- Aggregate by scheduler ---\n";
   report.scheduler_table().print(std::cout);
+
+  if (metro) {
+    double through = 0.0, exported = 0.0, served = 0.0, dropped = 0.0;
+    std::size_t outage_slots = 0;
+    for (const sim::HubRunResult& r : results) {
+      through += r.through_kwh;
+      exported += r.spill_exported_kwh;
+      served += r.spill_served_kwh;
+      dropped += r.spill_dropped_kwh;
+      outage_slots += r.outage_slots;
+    }
+    std::cout << "\n--- Metro coupling ---\n"
+              << "through-traffic demand: " << through << " kWh\n"
+              << "spillover routed to neighbors: " << exported << " kWh\n"
+              << "spillover served by neighbors: " << served << " kWh\n"
+              << "spillover dropped (one-hop bound): " << dropped << " kWh\n"
+              << "front outage slots endured: " << outage_slots << "\n";
+  }
   return 0;
 }

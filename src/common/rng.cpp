@@ -6,6 +6,15 @@
 
 namespace ecthub {
 
+std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t stream) noexcept {
+  // splitmix64 finalizer over a golden-ratio stride; (stream + 1) keeps
+  // stream 0 from collapsing onto the raw base seed.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

@@ -11,6 +11,13 @@
 
 namespace ecthub {
 
+/// Deterministic stream seed: a splitmix64 finalizer over (base, stream).
+/// Distinct stream ids map to well-separated seeds even for adjacent bases —
+/// the per-hub seeding primitive of the fleet engine (sim::mix_seed forwards
+/// here) and of every metro front stream derived in core.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base_seed,
+                                     std::uint64_t stream) noexcept;
+
 /// Thin wrapper over std::mt19937_64 with the distributions used across the
 /// codebase.  Copyable (copies carry the full engine state).
 class Rng {

@@ -14,6 +14,17 @@ namespace ecthub::core {
 // decode exactly what this file encodes.
 using policy::ObservationLayout;
 
+namespace {
+// Coupled-mode side streams are seeded from pure hashes — never from rng_ —
+// so turning coupling on cannot perturb the uncoupled fork sequence
+// (traffic -> weather -> rtp -> ev -> init SoC) that the golden-checksum
+// tests pin.  Each stream mixes its tag with the episode index so every
+// episode draws fresh, reproducible values.
+constexpr std::uint64_t kWeatherFrontStream = 0x7778'66726f6e74ULL;  // "wxfront"
+constexpr std::uint64_t kOutageFrontStream = 0x6f75'74667274ULL;     // "outfrt"
+constexpr std::uint64_t kThroughStream = 0x7468'72753030ULL;         // "thru"
+}  // namespace
+
 HubEnvConfig EctHubEnv::validated(HubEnvConfig cfg) {
   if (cfg.episode_days == 0) throw std::invalid_argument("HubEnvConfig: episode_days == 0");
   if (cfg.slots_per_day == 0) throw std::invalid_argument("HubEnvConfig: slots_per_day == 0");
@@ -27,6 +38,16 @@ HubEnvConfig EctHubEnv::validated(HubEnvConfig cfg) {
   if (!(0.0 <= cfg.init_soc_lo && cfg.init_soc_lo <= cfg.init_soc_hi &&
         cfg.init_soc_hi <= 1.0)) {
     throw std::invalid_argument("HubEnvConfig: bad init SoC range");
+  }
+  if (cfg.coupling.enabled) {
+    if (cfg.coupling.through_rate < 0.0) {
+      throw std::invalid_argument("HubCouplingConfig: through_rate < 0");
+    }
+    if (cfg.coupling.outage.rate_per_month < 0.0 ||
+        cfg.coupling.outage.min_duration_h < 0.0 ||
+        cfg.coupling.outage.max_duration_h < cfg.coupling.outage.min_duration_h) {
+      throw std::invalid_argument("HubCouplingConfig: bad OutageModel");
+    }
   }
   return cfg;
 }
@@ -58,6 +79,9 @@ double EctHubEnv::hour_of_day(std::size_t t) const {
 
 void EctHubEnv::generate_episode() {
   const TimeGrid grid(cfg_.episode_days, cfg_.slots_per_day);
+  const std::size_t episode = episode_index_++;
+  const HubCouplingConfig& coupling = cfg_.coupling;
+  const bool fronted = coupling.enabled && coupling.front_seed != 0;
 
   // Traffic drives both BS power (Eq. 1) and the RTP load coupling (Fig. 5).
   // The generators write into the episode buffers in place, so the buffers'
@@ -70,7 +94,14 @@ void EctHubEnv::generate_episode() {
   for (std::size_t t = 0; t < grid.size(); ++t) bs_kw_[t] = bs.power_kw(load_rate[t]);
 
   // Weather -> renewables, regenerated into the reused episode buffers.
-  weather::WeatherGenerator wx_gen(hub_.weather, rng_.fork());
+  // The fork is drawn unconditionally so the uncoupled stream sequence never
+  // shifts; a metro front then *replaces* the forked stream with the shared
+  // front stream, correlating weather across every hub of the metro.
+  Rng wx_rng = rng_.fork();
+  if (fronted) {
+    wx_rng = Rng(mix_seed(mix_seed(coupling.front_seed, kWeatherFrontStream), episode));
+  }
+  weather::WeatherGenerator wx_gen(hub_.weather, wx_rng);
   wx_gen.generate_into(grid, wx_);
   const renewables::RenewablePlant plant(hub_.plant);
   plant.generate_into(wx_, gen_);
@@ -107,6 +138,43 @@ void EctHubEnv::generate_episode() {
   // EV occupancy under the discount schedule.
   Rng ev_rng = rng_.fork();
   station_->simulate_into(grid, discounted_, ev_rng, occ_);
+
+  // Coupled-mode side streams: through-traffic demand (passing EVs that can
+  // overflow the plugs and be exported to neighbors) and the shared outage
+  // front.  Both are seeded from pure hashes, so the uncoupled fork sequence
+  // above is untouched, and both regenerate into reused buffers.
+  if (coupling.enabled) {
+    through_kw_.resize(grid.size());
+    Rng through_rng(mix_seed(mix_seed(hub_.seed, kThroughStream), episode));
+    const double plug_kw = hub_.station.plug_rate_kw;
+    for (std::size_t t = 0; t < grid.size(); ++t) {
+      through_kw_[t] = plug_kw * static_cast<double>(through_rng.poisson(
+                                     coupling.through_rate * traffic_.load_rate[t]));
+    }
+    outage_.resize(grid.size());
+    std::fill(outage_.begin(), outage_.end(), std::uint8_t{0});
+    if (fronted && coupling.outage.rate_per_month > 0.0) {
+      // The draw_outages sampling loop, inlined to write reused flags instead
+      // of allocating an event vector (the zero-alloc episode contract).
+      Rng outage_rng(
+          mix_seed(mix_seed(coupling.front_seed, kOutageFrontStream), episode));
+      const double dt = grid.slot_hours();
+      const double horizon_months =
+          static_cast<double>(grid.size()) * dt / (30.0 * 24.0);
+      const std::uint64_t count =
+          outage_rng.poisson(coupling.outage.rate_per_month * horizon_months);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const auto start = static_cast<std::size_t>(
+            outage_rng.uniform_int(0, static_cast<std::int64_t>(grid.size()) - 1));
+        const double dur_h = outage_rng.uniform(coupling.outage.min_duration_h,
+                                                coupling.outage.max_duration_h);
+        const auto dur =
+            std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(dur_h / dt)));
+        const std::size_t end = std::min(grid.size(), start + dur);
+        for (std::size_t s = start; s < end; ++s) outage_[s] = 1;
+      }
+    }
+  }
 
   // Battery with the Eq. 6 blackout reserve floor, re-emplaced in place (no
   // per-reset heap allocation).
@@ -179,6 +247,12 @@ rl::StepResult EctHubEnv::step(std::size_t action) {
 }
 
 StepOutcome EctHubEnv::step_into(std::size_t action, std::span<double> next_state) {
+  SlotCoupling coupling;  // zero import, outputs discarded
+  return step_into(action, next_state, coupling);
+}
+
+StepOutcome EctHubEnv::step_into(std::size_t action, std::span<double> next_state,
+                                 SlotCoupling& coupling) {
   if (!episode_ready_) throw std::logic_error("EctHubEnv::step before reset");
   if (action >= action_count()) throw std::invalid_argument("EctHubEnv::step: bad action");
   if (t_ >= slots_per_episode()) throw std::logic_error("EctHubEnv::step after episode end");
@@ -192,9 +266,43 @@ StepOutcome EctHubEnv::step_into(std::size_t action, std::span<double> next_stat
   auto bp_action = battery::BpAction::kIdle;
   if (action == 1) bp_action = battery::BpAction::kCharge;
   if (action == 2) bp_action = battery::BpAction::kDischarge;
+  // Coupled demand resolution: resident EVs occupy their plugs first, then
+  // the slot's through traffic, then imports routed here by neighbors; the
+  // unserved through demand becomes the export the CouplingBus routes onward
+  // (unserved imports are dropped — a one-hop bound, so demand cannot
+  // ping-pong around the metro forever).  Uncoupled hubs skip all of it and
+  // the slot is bit-identical to the pre-coupling step.
+  double cs_kw = occ_.power_kw[t_];
+  coupling.export_kw = 0.0;
+  coupling.served_import_kw = 0.0;
+  coupling.dropped_import_kw = 0.0;
+  coupling.through_kw = 0.0;
+  coupling.outage = false;
+  if (cfg_.coupling.enabled) {
+    const double through = through_kw_[t_];
+    coupling.through_kw = through;
+    if (outage_[t_] != 0) {
+      // Front outage: the station shuts down (the ride_through contract) —
+      // resident demand and imports are lost, through traffic drives on.
+      coupling.outage = true;
+      coupling.export_kw = through;
+      coupling.dropped_import_kw = coupling.import_kw;
+      cs_kw = 0.0;
+    } else {
+      const double cap_kw =
+          static_cast<double>(hub_.station.num_plugs) * hub_.station.plug_rate_kw;
+      const double free_kw = std::max(0.0, cap_kw - cs_kw);
+      const double served_through = std::min(through, free_kw);
+      const double served_import =
+          std::min(coupling.import_kw, free_kw - served_through);
+      cs_kw += served_through + served_import;
+      coupling.served_import_kw = served_import;
+      coupling.dropped_import_kw = coupling.import_kw - served_import;
+      coupling.export_kw = through - served_through;
+    }
+  }
   // Discharge is throttled to the hub's net load: the DC bus cannot absorb
   // more than BS + CS demand net of renewables, and there is no grid feed-in.
-  const double cs_kw = occ_.power_kw[t_];
   const double net_load_kw =
       std::max(0.0, bs_kw_[t_] + cs_kw - wt_kw_[t_] - pv_kw_[t_]);
   const battery::BpStepResult bp = pack_->step(bp_action, dt, net_load_kw);

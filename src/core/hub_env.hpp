@@ -12,17 +12,40 @@
 // schedule {idle, charge, discharge}.  Reward: the slot profit Psi_t (Eq. 12).
 #pragma once
 
+#include "core/blackout.hpp"
 #include "core/hub_config.hpp"
 #include "core/profit.hpp"
 #include "policy/observation.hpp"
 #include "rl/env.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 namespace ecthub::core {
+
+/// Metro-coupling knobs of one hub.  When enabled, the hub (a) draws an
+/// exogenous through-traffic demand stream (passing EVs beyond the resident
+/// population) that can overflow its plugs and be exported to road-graph
+/// neighbors, (b) keys its weather draws off the shared metro front stream
+/// instead of the i.i.d. per-hub stream, and (c) samples grid-outage windows
+/// from the same front, during which the charging station shuts down (the
+/// ride_through contract).  All of it is off by default — an uncoupled hub is
+/// bit-identical to the pre-coupling environment.
+struct HubCouplingConfig {
+  bool enabled = false;
+  /// Expected passing-EV arrivals per slot at full network load; scaled by
+  /// the slot's load rate like every other demand stream.
+  double through_rate = 0.0;
+  /// Metro front stream (MetroMap::front_seed()).  Non-zero replaces the
+  /// per-hub weather fork and activates the outage front, so hubs sharing a
+  /// front_seed see correlated weather and simultaneous outages.
+  std::uint64_t front_seed = 0;
+  /// Outage front intensity; rate 0 disables outages even when coupled.
+  OutageModel outage{0.0, 1.0, 8.0};
+};
 
 struct HubEnvConfig {
   std::size_t episode_days = 30;
@@ -45,12 +68,30 @@ struct HubEnvConfig {
   /// while removing the exogenous variance that otherwise buries the battery
   /// arbitrage signal.  The ledger always records the *true* profit.
   bool shaped_reward = true;
+
+  /// Metro coupling (off by default; see HubCouplingConfig).
+  HubCouplingConfig coupling;
 };
 
 /// Reward / termination of one allocation-free step (EctHubEnv::step_into).
 struct StepOutcome {
   double reward = 0.0;
   bool done = false;
+};
+
+/// The coupling in/out view of one slot (EctHubEnv::step_into 3-arg
+/// overload).  `import_kw` is the caller's input: demand arriving from
+/// neighbor hubs this slot.  Everything else is written by the step:
+/// `export_kw` is the overflow the CouplingBus routes onward, the served /
+/// dropped split accounts for the imports, and `outage` flags a front slot.
+/// On an uncoupled hub every output is zero and the input is ignored.
+struct SlotCoupling {
+  double import_kw = 0.0;          ///< in: demand routed here by neighbors
+  double export_kw = 0.0;          ///< out: unserved through demand, exported
+  double served_import_kw = 0.0;   ///< out: imports absorbed by free plugs
+  double dropped_import_kw = 0.0;  ///< out: imports lost (one-hop bound)
+  double through_kw = 0.0;         ///< out: this slot's through demand
+  bool outage = false;             ///< out: front outage active this slot
 };
 
 class EctHubEnv final : public rl::Env {
@@ -85,6 +126,16 @@ class EctHubEnv final : public rl::Env {
   /// and returns the reward/done pair.  Bit-identical to step().
   StepOutcome step_into(std::size_t action, std::span<double> next_state);
 
+  /// The coupling-aware step: reads `coupling.import_kw` (demand routed here
+  /// by neighbor hubs), serves this slot's through demand and imports with
+  /// whatever plug capacity the resident EVs leave free, and reports the
+  /// unserved through demand as `coupling.export_kw` for the CouplingBus to
+  /// route onward.  During a front outage the station shuts down: nothing is
+  /// served, imports are dropped and the through demand is exported whole.
+  /// On an uncoupled hub this is exactly the 2-arg step (outputs all zero).
+  StepOutcome step_into(std::size_t action, std::span<double> next_state,
+                        SlotCoupling& coupling);
+
   [[nodiscard]] std::size_t state_dim() const override;
   [[nodiscard]] std::size_t action_count() const override { return 3; }
 
@@ -113,6 +164,10 @@ class EctHubEnv final : public rl::Env {
   [[nodiscard]] const std::vector<double>& cs_power_series() const { return occ_.power_kw; }
   [[nodiscard]] const std::vector<double>& renewable_series() const { return renewable_kw_; }
 
+  /// Coupled-mode series (empty on an uncoupled hub).
+  [[nodiscard]] const std::vector<double>& through_series() const { return through_kw_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& outage_series() const { return outage_; }
+
  private:
   [[nodiscard]] static HubEnvConfig validated(HubEnvConfig cfg);
   void generate_episode();
@@ -137,12 +192,15 @@ class EctHubEnv final : public rl::Env {
   std::vector<double> wt_kw_;
   std::vector<double> renewable_kw_;
   std::vector<bool> discounted_;  ///< per-slot discount flags; built once
+  std::vector<double> through_kw_;    ///< coupled: through-traffic demand
+  std::vector<std::uint8_t> outage_;  ///< coupled: front outage flags
 
   std::optional<ev::ChargingStation> station_;         ///< built at construction
   std::optional<pricing::SellingPricePolicy> selling_; ///< built at first reset
   std::optional<battery::BatteryPack> pack_;  ///< in-place, re-emplaced per reset
   ProfitLedger ledger_;                       ///< reused via reset() per episode
   std::size_t t_ = 0;
+  std::size_t episode_index_ = 0;  ///< episodes generated; keys the side streams
   bool episode_ready_ = false;
 };
 

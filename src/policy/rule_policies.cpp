@@ -61,8 +61,8 @@ std::size_t GreedyPricePolicy::decide(std::span<const double> obs) {
   constexpr std::size_t kWindow = 24;
   seen_.push_back(now);
   if (seen_.size() > kWindow + 1) seen_.erase(seen_.begin());
-  const double p_lo = stats::percentile(seen_, low_q_);
-  const double p_hi = stats::percentile(seen_, high_q_);
+  const double p_lo = stats::percentile(seen_, low_q_, scratch_);
+  const double p_hi = stats::percentile(seen_, high_q_, scratch_);
   if (now <= p_lo) return 1;
   if (now >= p_hi) return 2;
   return 0;

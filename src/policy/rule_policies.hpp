@@ -64,7 +64,8 @@ class GreedyPricePolicy final : public Policy {
  private:
   ObservationLayout layout_;
   double low_q_, high_q_;
-  std::vector<double> seen_;  ///< trailing window of realized prices, $/MWh
+  std::vector<double> seen_;     ///< trailing window of realized prices, $/MWh
+  std::vector<double> scratch_;  ///< percentile sort buffer (zero-alloc decide)
 };
 
 /// Forecast-driven arbitrage: learns the diurnal price curve online with a

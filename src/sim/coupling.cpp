@@ -1,0 +1,38 @@
+#include "sim/coupling.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ecthub::sim {
+
+CouplingBus::CouplingBus(std::vector<std::vector<std::size_t>> neighbors)
+    : neighbors_(std::move(neighbors)),
+      exported_(neighbors_.size(), 0.0),
+      pending_(neighbors_.size(), 0.0) {
+  for (std::size_t lane = 0; lane < neighbors_.size(); ++lane) {
+    for (const std::size_t n : neighbors_[lane]) {
+      if (n >= neighbors_.size()) {
+        throw std::invalid_argument("CouplingBus: lane " + std::to_string(lane) +
+                                    " names neighbor " + std::to_string(n) +
+                                    " outside the fleet");
+      }
+      if (n == lane) {
+        throw std::invalid_argument("CouplingBus: lane " + std::to_string(lane) +
+                                    " names itself as a neighbor");
+      }
+    }
+  }
+}
+
+void CouplingBus::exchange() {
+  for (std::size_t lane = 0; lane < exported_.size(); ++lane) {
+    const double kw = exported_[lane];
+    exported_[lane] = 0.0;
+    if (kw <= 0.0 || neighbors_[lane].empty()) continue;
+    const double share = kw / static_cast<double>(neighbors_[lane].size());
+    for (const std::size_t n : neighbors_[lane]) pending_[n] += share;
+  }
+}
+
+}  // namespace ecthub::sim

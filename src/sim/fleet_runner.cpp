@@ -1,17 +1,20 @@
 #include "sim/fleet_runner.hpp"
 
+#include "common/parse.hpp"
+#include "common/time_grid.hpp"
 #include "policy/rule_policies.hpp"
+#include "sim/coupling.hpp"
 #include "sim/scenario.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <barrier>
-#include <cctype>
 #include <exception>
 #include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -95,15 +98,6 @@ class LockstepCrew {
 };
 }  // namespace
 
-std::uint64_t mix_seed(std::uint64_t base_seed, std::uint64_t hub_id) noexcept {
-  // splitmix64 finalizer over a golden-ratio stride; (hub_id + 1) keeps
-  // hub 0 from collapsing onto the raw base seed.
-  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (hub_id + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 const std::vector<SchedulerKind>& all_scheduler_kinds() {
   static const std::vector<SchedulerKind> kinds = {
       SchedulerKind::kNoBattery, SchedulerKind::kTou,    SchedulerKind::kGreedyPrice,
@@ -112,17 +106,9 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
 }
 
 SchedulerKind scheduler_kind_from_string(const std::string& name) {
-  std::string key(name.size(), '\0');
-  std::transform(name.begin(), name.end(), key.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  std::string valid;
-  for (const SchedulerKind kind : all_scheduler_kinds()) {
-    if (key == to_string(kind)) return kind;
-    if (!valid.empty()) valid += '|';
-    valid += to_string(kind);
-  }
-  throw std::invalid_argument("scheduler_kind_from_string: unknown scheduler '" + name +
-                              "' (valid, case-insensitive: " + valid + ")");
+  return parse_enum_ci(
+      name, all_scheduler_kinds(), [](SchedulerKind kind) { return to_string(kind); },
+      "scheduler_kind_from_string: unknown scheduler");
 }
 
 std::string to_string(SchedulerKind kind) {
@@ -144,14 +130,9 @@ const std::vector<LockstepGemm>& all_lockstep_gemm_modes() {
 }
 
 LockstepGemm lockstep_gemm_from_string(const std::string& name) {
-  std::string key(name.size(), '\0');
-  std::transform(name.begin(), name.end(), key.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  for (const LockstepGemm mode : all_lockstep_gemm_modes()) {
-    if (key == to_string(mode)) return mode;
-  }
-  throw std::invalid_argument("lockstep_gemm_from_string: unknown mode '" + name +
-                              "' (valid, case-insensitive: coordinator|worker)");
+  return parse_enum_ci(
+      name, all_lockstep_gemm_modes(), [](LockstepGemm mode) { return to_string(mode); },
+      "lockstep_gemm_from_string: unknown mode");
 }
 
 std::string to_string(LockstepGemm mode) {
@@ -223,6 +204,13 @@ FleetRunner::FleetRunner(FleetRunnerConfig cfg) : cfg_(cfg) {
 
 HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
                                   const FleetRunnerConfig& cfg) {
+  if (job.coupled()) {
+    throw std::invalid_argument(
+        "FleetRunner::run_job: job '" + job.hub.name +
+        "' is coupled (env.coupling.enabled or neighbors set); per-hub "
+        "execution cannot honor the slot-synchronous exchange — use "
+        "run_lockstep");
+  }
   const std::uint64_t hub_seed = mix_seed(cfg.base_seed, hub_id);
 
   core::HubConfig hub = job.hub;
@@ -283,6 +271,15 @@ HubRunResult FleetRunner::run_job(const FleetJob& job, std::size_t hub_id,
 }
 
 std::vector<HubRunResult> FleetRunner::run(const std::vector<FleetJob>& jobs) const {
+  for (const FleetJob& job : jobs) {
+    if (job.coupled()) {
+      throw std::invalid_argument(
+          "FleetRunner::run: job '" + job.hub.name +
+          "' is coupled (env.coupling.enabled or neighbors set); per-hub "
+          "execution cannot honor the slot-synchronous exchange — use "
+          "run_lockstep");
+    }
+  }
   std::vector<HubRunResult> results(jobs.size());
   if (jobs.empty()) return results;
 
@@ -346,6 +343,7 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     std::vector<double> state;                ///< stateful lanes only
     std::size_t episodes_done = 0;
     std::size_t action = 0;
+    double dt_hours = 1.0;  ///< slot duration, for kW -> kWh spill accounting
     bool active = true;
     bool needs_begin = true;  ///< episode reset pending (runs in phase A)
     bool record_soc = false;
@@ -364,6 +362,18 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     nn::Matrix obs;
     std::vector<std::size_t> actions;
   };
+
+  // The coupled-fleet exchange bus (absent on a fully uncoupled fleet, whose
+  // slot loop then takes exactly the pre-coupling path).  Neighbor lists are
+  // validated by the bus constructor before any thread spawns.
+  std::optional<CouplingBus> bus;
+  for (const FleetJob& job : jobs) {
+    if (!job.coupled()) continue;
+    std::vector<std::vector<std::size_t>> neighbors(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) neighbors[i] = jobs[i].neighbors;
+    bus.emplace(std::move(neighbors));
+    break;
+  }
 
   std::vector<Lane> lanes(jobs.size());
   std::vector<Group> groups;
@@ -412,6 +422,7 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
       lane.state.resize(lane.env->state_dim());
     }
 
+    lane.dt_hours = TimeGrid(job.env.episode_days, job.env.slots_per_day).slot_hours();
     lane.result.hub_id = i;
     lane.result.hub_name = job.hub.name;
     lane.result.scenario = job.scenario;
@@ -443,6 +454,9 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     if (!lane.active) return;
     if (lane.needs_begin) {
       lane.needs_begin = false;
+      // A fresh episode starts clean: demand routed across the episode
+      // boundary is dropped (lane-owned slot, so this is worker-safe).
+      if (bus) bus->drop_pending(static_cast<std::size_t>(&lane - lanes.data()));
       lane.env->reset_into(obs_of(lane));
       if (lane.own_pol) lane.own_pol->begin_episode();
       lane.record_soc = lane.episodes_done + 1 == cfg_.episodes_per_hub;
@@ -480,7 +494,24 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
   // episodes.
   const auto phase_c = [&](Lane& lane) {
     if (!lane.active) return;
-    const core::StepOutcome sr = lane.env->step_into(lane.action, obs_of(lane));
+    core::StepOutcome sr;
+    if (bus) {
+      // Step with the imports routed here at the previous slot barrier and
+      // deposit this slot's export for the coordinator to route at the next
+      // one.  Only this worker touches the lane's bus slots this phase.
+      const auto li = static_cast<std::size_t>(&lane - lanes.data());
+      core::SlotCoupling sc;
+      sc.import_kw = bus->take(li);
+      sr = lane.env->step_into(lane.action, obs_of(lane), sc);
+      bus->deposit(li, sc.export_kw);
+      lane.result.through_kwh += sc.through_kw * lane.dt_hours;
+      lane.result.spill_exported_kwh += sc.export_kw * lane.dt_hours;
+      lane.result.spill_served_kwh += sc.served_import_kw * lane.dt_hours;
+      lane.result.spill_dropped_kwh += sc.dropped_import_kw * lane.dt_hours;
+      if (sc.outage) ++lane.result.outage_slots;
+    } else {
+      sr = lane.env->step_into(lane.action, obs_of(lane));
+    }
     if (lane.record_soc) {
       const double s = lane.env->soc_frac();
       lane.soc.last = s;
@@ -583,6 +614,14 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
   threads = std::min(threads, lanes.size());
   const bool worker_gemm = cfg_.lockstep_gemm == LockstepGemm::kWorker;
 
+  // The coupled exchange runs after phase C of every slot, on the
+  // coordinator alone in fixed lane order — between crew phases, never
+  // concurrently with one — so routed totals are independent of the thread
+  // count and the GEMM placement.
+  const auto exchange = [&]() {
+    if (bus) bus->exchange();
+  };
+
   if (threads <= 1) {
     if (worker_gemm) {
       std::vector<WorkerPlan> plans = make_plans(1);
@@ -590,12 +629,14 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
         for (Lane& lane : lanes) phase_a(lane);
         infer_partition(plans[0]);
         for (Lane& lane : lanes) phase_c(lane);
+        exchange();
       }
     } else {
       while (active_count.load(std::memory_order_relaxed) > 0) {
         for (Lane& lane : lanes) phase_a(lane);
         phase_b();
         for (Lane& lane : lanes) phase_c(lane);
+        exchange();
       }
     }
   } else {
@@ -618,7 +659,10 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
         infer_partition(plans[w]);
         for_partition(w, phase_c);
       };
-      while (active_count.load(std::memory_order_relaxed) > 0) crew.run(run_slot);
+      while (active_count.load(std::memory_order_relaxed) > 0) {
+        crew.run(run_slot);
+        exchange();
+      }
     } else {
       const std::function<void(std::size_t)> run_a = [&](std::size_t w) {
         for_partition(w, phase_a);
@@ -630,6 +674,7 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
         crew.run(run_a);
         phase_b();
         crew.run(run_c);
+        exchange();
       }
     }
   }

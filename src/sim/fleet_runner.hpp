@@ -60,6 +60,7 @@
 // bit-identical on the same jobs and config, under either LockstepGemm mode.
 #pragma once
 
+#include "common/rng.hpp"
 #include "core/hub_config.hpp"
 #include "core/hub_env.hpp"
 #include "policy/drl_policy.hpp"
@@ -74,8 +75,12 @@ namespace ecthub::sim {
 
 /// Deterministic per-hub seed: a splitmix64 finalizer over (base, hub_id).
 /// Distinct hub ids map to well-separated seeds even for adjacent bases.
-[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base_seed,
-                                     std::uint64_t hub_id) noexcept;
+/// Forwards to ecthub::mix_seed (common/rng) — the same primitive that keys
+/// the metro front streams in core.
+[[nodiscard]] inline std::uint64_t mix_seed(std::uint64_t base_seed,
+                                            std::uint64_t hub_id) noexcept {
+  return ecthub::mix_seed(base_seed, hub_id);
+}
 
 /// Scheduler families the runner can instantiate per worker: the five
 /// rule-based baselines plus the trained ECT-DRL actor.
@@ -124,6 +129,16 @@ struct FleetJob {
   /// Trained actor weights; required when scheduler == kDrl.  Immutable and
   /// shared across jobs — each worker restores its own DrlPolicy from it.
   std::shared_ptr<const policy::DrlCheckpoint> checkpoint;
+  /// Road-graph neighbors (job indices) this hub exports overflow to when
+  /// env.coupling is enabled.  A job set with coupling anywhere is lockstep-
+  /// only: run() rejects it, because per-hub execution cannot honor the
+  /// slot-synchronous exchange.
+  std::vector<std::size_t> neighbors;
+
+  /// True when this job participates in the metro coupling layer.
+  [[nodiscard]] bool coupled() const noexcept {
+    return env.coupling.enabled || !neighbors.empty();
+  }
 };
 
 /// Digest of the SoC trajectory over the job's last episode.
@@ -154,6 +169,13 @@ struct HubRunResult {
 
   std::vector<double> episode_profit;  ///< per-episode true profit
   SocDigest soc;                       ///< last episode's SoC trajectory
+
+  // Coupling totals across all episodes (all zero on an uncoupled job).
+  double through_kwh = 0.0;         ///< through-traffic demand seen
+  double spill_exported_kwh = 0.0;  ///< overflow routed to neighbors
+  double spill_served_kwh = 0.0;    ///< neighbor imports absorbed here
+  double spill_dropped_kwh = 0.0;   ///< neighbor imports lost (one-hop bound)
+  std::size_t outage_slots = 0;     ///< front outage slots endured
 };
 
 class ScenarioRegistry;  // scenario.hpp
@@ -190,7 +212,9 @@ class FleetRunner {
 
   /// Runs every job, one hub per worker; results[i] corresponds to jobs[i]
   /// (hub_id == i).  The first exception thrown by any worker is rethrown
-  /// after all workers have been joined.
+  /// after all workers have been joined.  Throws std::invalid_argument on a
+  /// coupled job set (see FleetJob::coupled) — only run_lockstep advances
+  /// the fleet slot-synchronously, which the exchange requires.
   [[nodiscard]] std::vector<HubRunResult> run(const std::vector<FleetJob>& jobs) const;
 
   /// Lockstep execution: advances all hubs slot-by-slot and batches policy
@@ -203,6 +227,15 @@ class FleetRunner {
   /// crew (see the file comment for the phase/barrier semantics).
   /// Bit-identical to run() on the same jobs and config, at any thread
   /// count and under either GEMM placement.
+  ///
+  /// Coupled fleets (FleetJob::coupled) add an exchange phase at the slot
+  /// barrier: each lane steps with the imports routed to it at the previous
+  /// barrier and deposits its exported overflow, then the coordinator —
+  /// alone, in fixed lane order — routes every deposit over the road-graph
+  /// neighbor lists (CouplingBus).  The exchange never runs concurrently
+  /// with a worker phase, so coupled results stay bit-identical at any
+  /// lockstep_threads and under either LockstepGemm mode; fleets with no
+  /// coupled job take exactly the pre-coupling path.
   [[nodiscard]] std::vector<HubRunResult> run_lockstep(
       const std::vector<FleetJob>& jobs) const;
 

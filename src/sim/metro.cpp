@@ -1,0 +1,47 @@
+#include "sim/metro.hpp"
+
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ecthub::sim {
+
+std::vector<FleetJob> make_metro_fleet_jobs(
+    const spatial::MetroMap& metro, const ScenarioRegistry& registry,
+    const std::vector<std::string>& scenario_keys, std::size_t episode_days,
+    SchedulerKind scheduler, std::shared_ptr<const policy::DrlCheckpoint> checkpoint) {
+  if (scenario_keys.empty()) {
+    throw std::invalid_argument("make_metro_fleet_jobs: no scenario keys");
+  }
+  const std::size_t count = metro.hubs().size();
+  std::vector<FleetJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string& key = scenario_keys[i % scenario_keys.size()];
+    const Scenario& scenario = registry.at(key);
+    FleetJob job;
+    // The scenario preset gives the hub its character (plant, prices,
+    // weather, EV behaviour); the metro site overlays density class, plug
+    // count and demand intensity.  The seed is overridden by the runner.
+    job.hub = scenario.make_hub(key + "-" + std::to_string(i), 0);
+    metro.apply_site(i, job.hub);
+    job.env = scenario.env;
+    job.env.episode_days = episode_days;
+    job.env.coupling.enabled = true;
+    job.env.coupling.through_rate = metro.through_rate(i);
+    job.env.coupling.front_seed = metro.front_seed();
+    // A modest metro-wide outage front: about one event per month shared by
+    // every hub (correlated grid stress is exactly what the coupling layer
+    // exists to exercise).
+    job.env.coupling.outage = core::OutageModel{1.0, 1.0, 6.0};
+    job.scenario = key;
+    job.scheduler = scheduler;
+    job.checkpoint = checkpoint;
+    job.neighbors = metro.hubs()[i].neighbors;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace ecthub::sim

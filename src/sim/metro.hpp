@@ -1,0 +1,31 @@
+// Metro fleet construction: MetroMap sites -> coupled FleetJobs.
+//
+// Bridges the spatial layer and the fleet engine: every hub of a generated
+// metro becomes one FleetJob whose character comes from a scenario preset
+// (round-robin over the requested keys), modulated by its site's density
+// class, with coupling enabled — through-traffic scaled by the site,
+// weather/outage fronts keyed off the metro seed, and road-graph neighbor
+// lists for the CouplingBus.  The result is lockstep-only by construction
+// (FleetRunner::run rejects it).
+#pragma once
+
+#include "sim/fleet_runner.hpp"
+#include "spatial/metro.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecthub::sim {
+
+/// One coupled job per metro hub.  Hub i is named "<key>-<i>" after its
+/// round-robin scenario and runs that scenario's episode shape with
+/// `episode_days` days.  Deterministic: a pure function of (metro, registry,
+/// keys, days, scheduler) like make_fleet_jobs.
+[[nodiscard]] std::vector<FleetJob> make_metro_fleet_jobs(
+    const spatial::MetroMap& metro, const ScenarioRegistry& registry,
+    const std::vector<std::string>& scenario_keys, std::size_t episode_days,
+    SchedulerKind scheduler,
+    std::shared_ptr<const policy::DrlCheckpoint> checkpoint = nullptr);
+
+}  // namespace ecthub::sim

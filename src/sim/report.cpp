@@ -10,6 +10,8 @@ void GroupStats::absorb(const HubRunResult& r) {
   bp_cost += r.bp_cost;
   profit += r.profit;
   soc_mean_sum += r.soc.mean;
+  spill_exported_kwh += r.spill_exported_kwh;
+  spill_served_kwh += r.spill_served_kwh;
 }
 
 AggregateReport::AggregateReport(const std::vector<HubRunResult>& results) {
@@ -32,6 +34,8 @@ void merge_group(GroupStats& into, const GroupStats& from) {
   into.bp_cost += from.bp_cost;
   into.profit += from.profit;
   into.soc_mean_sum += from.soc_mean_sum;
+  into.spill_exported_kwh += from.spill_exported_kwh;
+  into.spill_served_kwh += from.spill_served_kwh;
 }
 
 void add_group_row(TextTable& table, const std::string& label, const GroupStats& g) {
@@ -44,14 +48,17 @@ void add_group_row(TextTable& table, const std::string& label, const GroupStats&
       .add_double(g.bp_cost, 2)
       .add_double(g.profit, 2)
       .add_double(g.profit_per_hub(), 2)
-      .add_double(g.mean_soc(), 3);
+      .add_double(g.mean_soc(), 3)
+      .add_double(g.spill_exported_kwh, 1)
+      .add_double(g.spill_served_kwh, 1);
 }
 
 TextTable group_table(const std::string& key_header,
                       const std::map<std::string, GroupStats>& groups,
                       const GroupStats& totals) {
   TextTable table({key_header, "hubs", "episodes", "revenue($)", "grid($)", "wear($)",
-                   "profit($)", "profit/hub($)", "mean SoC"});
+                   "profit($)", "profit/hub($)", "mean SoC", "spill-out(kWh)",
+                   "spill-in(kWh)"});
   for (const auto& [key, stats] : groups) add_group_row(table, key, stats);
   add_group_row(table, "TOTAL", totals);
   return table;

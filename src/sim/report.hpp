@@ -24,6 +24,10 @@ struct GroupStats {
   double bp_cost = 0.0;
   double profit = 0.0;
   double soc_mean_sum = 0.0;  ///< sum of per-hub mean SoC (for mean_soc())
+  // Metro-coupling spillover (zero on uncoupled fleets): demand exported to
+  // road-graph neighbors and neighbor demand absorbed here.
+  double spill_exported_kwh = 0.0;
+  double spill_served_kwh = 0.0;
 
   void absorb(const HubRunResult& r);
 

@@ -64,10 +64,32 @@ RoadNetwork::RoadNetwork(RoadNetworkConfig cfg, Rng rng) : cfg_(cfg) {
   }
 }
 
+Point closest_point_on_segment(const Point& p, const Segment& s) {
+  const double dx = s.b.x - s.a.x, dy = s.b.y - s.a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq == 0.0) return s.a;
+  double t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return {s.a.x + t * dx, s.a.y + t * dy};
+}
+
 double RoadNetwork::distance_to_nearest_road(const Point& p) const {
   double best = std::numeric_limits<double>::max();
   for (const auto& s : segments_) best = std::min(best, distance_to_segment(p, s));
   return best;
+}
+
+Point RoadNetwork::closest_point_on_roads(const Point& p) const {
+  double best = std::numeric_limits<double>::max();
+  Point snap = p;
+  for (const auto& s : segments_) {
+    const double d = distance_to_segment(p, s);
+    if (d < best) {
+      best = d;
+      snap = closest_point_on_segment(p, s);
+    }
+  }
+  return snap;
 }
 
 double RoadNetwork::total_length() const {

@@ -27,6 +27,10 @@ struct Segment {
 /// Distance from a point to a segment (closest-point projection).
 [[nodiscard]] double distance_to_segment(const Point& p, const Segment& s);
 
+/// The closest point on a segment to `p` — the same projection-and-clamp
+/// arithmetic distance_to_segment measures, returning the point itself.
+[[nodiscard]] Point closest_point_on_segment(const Point& p, const Segment& s);
+
 struct RoadNetworkConfig {
   double region_km = 100.0;      ///< square side length
   std::size_t num_cities = 6;    ///< highway anchors
@@ -43,6 +47,11 @@ class RoadNetwork {
 
   /// Distance from `p` to the nearest road segment, km.
   [[nodiscard]] double distance_to_nearest_road(const Point& p) const;
+
+  /// The snap of `p` onto the network: the closest point on any road
+  /// segment.  Road-distance estimates (MetroMap adjacency) route through
+  /// these snap points.
+  [[nodiscard]] Point closest_point_on_roads(const Point& p) const;
 
   /// Total road length, km.
   [[nodiscard]] double total_length() const;

@@ -18,7 +18,9 @@
 #include "pricing/selling.hpp"
 #include "renewables/plant.hpp"
 #include "sim/fleet_runner.hpp"
+#include "sim/metro.hpp"
 #include "sim/scenario.hpp"
+#include "spatial/metro.hpp"
 #include "traffic/generator.hpp"
 #include "weather/weather.hpp"
 
@@ -226,6 +228,61 @@ TEST(AllocationAudit, WorkerGemmLockstepSlotLoopAllocationFreeAfterWarmup) {
   const std::uint64_t long_run = run_with_episodes(6);
   EXPECT_EQ(long_run, short_run)
       << "extra lockstep episodes allocated: the slot loop is not allocation-free";
+}
+
+
+TEST(AllocationAudit, GreedyFleetSlotLoopAllocationFreeAfterWarmup) {
+  // The stateful rule-policy path: GreedyPricePolicy computes two trailing
+  // percentiles every slot and must do so through its reused scratch buffer
+  // (stats::percentile's by-value overload copies — the hot path takes the
+  // scratch overload instead).
+  const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
+  const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
+      registry, registry.keys(), 8, 2, sim::SchedulerKind::kGreedyPrice);
+  const auto run_with_episodes = [&](std::size_t episodes) {
+    sim::FleetRunnerConfig runner_cfg;
+    runner_cfg.lockstep_threads = 1;
+    runner_cfg.episodes_per_hub = episodes;
+    const std::uint64_t before = allocations();
+    const auto results = sim::FleetRunner(runner_cfg).run_lockstep(jobs);
+    EXPECT_EQ(results.size(), jobs.size());
+    return allocations() - before;
+  };
+  (void)run_with_episodes(2);  // settle any process-wide one-time buffers
+  const std::uint64_t short_run = run_with_episodes(2);
+  const std::uint64_t long_run = run_with_episodes(6);
+  EXPECT_EQ(long_run, short_run)
+      << "extra greedy episodes allocated: the percentile scratch is not reused";
+}
+
+TEST(AllocationAudit, CoupledMetroSlotLoopAllocationFreeAfterWarmup) {
+  // The metro coupling layer rides the same zero-alloc contract: the
+  // per-slot CouplingBus exchange (deposit/take/exchange), the 3-arg
+  // step_into with its through/outage series, and pending-import drops at
+  // episode turnover must all reuse buffers sized at setup — extra coupled
+  // episodes may not cost a single allocation.
+  const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
+  spatial::MetroConfig metro_cfg;
+  metro_cfg.num_hubs = 8;
+  const spatial::MetroMap metro(metro_cfg, 42);
+  const std::vector<sim::FleetJob> jobs = sim::make_metro_fleet_jobs(
+      metro, registry, registry.keys(), 2, sim::SchedulerKind::kGreedyPrice);
+
+  const auto run_with_episodes = [&](std::size_t episodes) {
+    sim::FleetRunnerConfig runner_cfg;
+    runner_cfg.lockstep_threads = 1;
+    runner_cfg.episodes_per_hub = episodes;
+    const std::uint64_t before = allocations();
+    const auto results = sim::FleetRunner(runner_cfg).run_lockstep(jobs);
+    EXPECT_EQ(results.size(), jobs.size());
+    return allocations() - before;
+  };
+
+  (void)run_with_episodes(2);  // settle any process-wide one-time buffers
+  const std::uint64_t short_run = run_with_episodes(2);
+  const std::uint64_t long_run = run_with_episodes(6);
+  EXPECT_EQ(long_run, short_run)
+      << "extra coupled episodes allocated: the exchange path is not allocation-free";
 }
 
 TEST(AllocationAudit, PricingAndTrafficRegenerateAllocationFreeAfterWarmup) {

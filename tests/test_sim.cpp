@@ -4,9 +4,12 @@
 // bit-identity contract every future sharding/batching PR depends on), and
 // the aggregate report arithmetic.
 #include "policy/drl_policy.hpp"
+#include "sim/coupling.hpp"
 #include "sim/fleet_runner.hpp"
+#include "sim/metro.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
+#include "spatial/metro.hpp"
 
 #include <gtest/gtest.h>
 
@@ -354,6 +357,11 @@ void expect_results_bit_identical(const std::vector<HubRunResult>& a,
     EXPECT_EQ(a[i].soc.last, b[i].soc.last) << "hub " << i;
     EXPECT_EQ(a[i].soc.checksum, b[i].soc.checksum) << "hub " << i;
     EXPECT_EQ(a[i].soc.samples, b[i].soc.samples) << "hub " << i;
+    EXPECT_EQ(a[i].through_kwh, b[i].through_kwh) << "hub " << i;
+    EXPECT_EQ(a[i].spill_exported_kwh, b[i].spill_exported_kwh) << "hub " << i;
+    EXPECT_EQ(a[i].spill_served_kwh, b[i].spill_served_kwh) << "hub " << i;
+    EXPECT_EQ(a[i].spill_dropped_kwh, b[i].spill_dropped_kwh) << "hub " << i;
+    EXPECT_EQ(a[i].outage_slots, b[i].outage_slots) << "hub " << i;
   }
 }
 
@@ -497,6 +505,106 @@ TEST(LockstepDeterminism, GemmModeNamesRoundTrip) {
   EXPECT_EQ(lockstep_gemm_from_string("Coordinator"), LockstepGemm::kCoordinator);
   EXPECT_EQ(lockstep_gemm_from_string("WORKER"), LockstepGemm::kWorker);
   EXPECT_THROW((void)lockstep_gemm_from_string("gpu"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ metro coupling
+
+// A 64-hub spatially generated metro fleet with coupling enabled on every
+// hub.  Half the fleet runs the batched DRL path (so phase B GEMMs and the
+// exchange interleave), half runs a stateful per-hub scheduler.
+std::vector<FleetJob> make_coupled_metro_jobs(std::size_t hubs) {
+  spatial::MetroConfig metro_cfg;
+  metro_cfg.num_hubs = hubs;
+  const spatial::MetroMap metro(metro_cfg, 42);
+  const ScenarioRegistry reg = ScenarioRegistry::with_builtins();
+  auto jobs = make_metro_fleet_jobs(metro, reg, reg.keys(), 2, SchedulerKind::kDrl,
+                                    tiny_checkpoint());
+  for (std::size_t i = 0; i < jobs.size(); i += 2) {
+    jobs[i].scheduler = SchedulerKind::kGreedyPrice;
+    jobs[i].checkpoint = nullptr;
+  }
+  return jobs;
+}
+
+TEST(LockstepDeterminism, CoupledMetroFleetBitIdenticalAcrossThreadsAndGemm) {
+  // The acceptance criterion of the coupling layer: a 64-hub coupled metro
+  // fleet — CouplingBus exchange at every slot barrier, correlated fronts,
+  // through-traffic, episode turnover mid-run — is bit-identical between
+  // lockstep x1 and lockstep x8 under both GEMM placements, spill ledgers
+  // included.
+  const std::vector<FleetJob> jobs = make_coupled_metro_jobs(64);
+  FleetRunnerConfig cfg;
+  cfg.episodes_per_hub = 2;  // exercise pending-import drop at turnover
+  cfg.lockstep_threads = 1;
+  const auto reference = FleetRunner(cfg).run_lockstep(jobs);
+  cfg.lockstep_threads = 8;
+  cfg.lockstep_gemm = LockstepGemm::kCoordinator;
+  const auto coord_8 = FleetRunner(cfg).run_lockstep(jobs);
+  cfg.lockstep_gemm = LockstepGemm::kWorker;
+  const auto worker_8 = FleetRunner(cfg).run_lockstep(jobs);
+  expect_results_bit_identical(reference, coord_8);
+  expect_results_bit_identical(coord_8, worker_8);
+
+  // The coupling must actually be live: demand flowed over the bus and some
+  // of it was absorbed by neighbors.
+  double exported = 0.0, served = 0.0, through = 0.0;
+  for (const HubRunResult& r : reference) {
+    exported += r.spill_exported_kwh;
+    served += r.spill_served_kwh;
+    through += r.through_kwh;
+  }
+  EXPECT_GT(through, 0.0);
+  EXPECT_GT(exported, 0.0);
+  EXPECT_GT(served, 0.0);
+}
+
+TEST(FleetRunner, RunRejectsCoupledJobs) {
+  // Per-hub execution cannot honor the slot-synchronous exchange; both the
+  // coupling flag and a bare neighbor list must route callers to
+  // run_lockstep with a clear error.
+  std::vector<FleetJob> jobs = make_jobs(2);
+  jobs[0].env.coupling.enabled = true;
+  EXPECT_THROW((void)FleetRunner(FleetRunnerConfig{}).run(jobs), std::invalid_argument);
+
+  std::vector<FleetJob> neighbor_jobs = make_jobs(2);
+  neighbor_jobs[1].neighbors = {0};
+  EXPECT_THROW((void)FleetRunner(FleetRunnerConfig{}).run(neighbor_jobs),
+               std::invalid_argument);
+  // run_lockstep accepts the same job set.
+  EXPECT_EQ(FleetRunner(FleetRunnerConfig{}).run_lockstep(neighbor_jobs).size(), 2u);
+}
+
+TEST(CouplingBus, RoutesEqualSharesAndDeliversNextTake) {
+  // Hub 0 exports to {1, 2}; hub 1 exports to {0}; hub 2 has no neighbors.
+  CouplingBus bus({{1, 2}, {0}, {}});
+  ASSERT_EQ(bus.lanes(), 3u);
+  bus.deposit(0, 10.0);
+  bus.deposit(1, 4.0);
+  // Nothing is visible until the barrier exchange.
+  EXPECT_DOUBLE_EQ(bus.take(1), 0.0);
+  bus.exchange();
+  EXPECT_DOUBLE_EQ(bus.take(0), 4.0);  // all of hub 1's export
+  EXPECT_DOUBLE_EQ(bus.take(1), 5.0);  // half of hub 0's export
+  EXPECT_DOUBLE_EQ(bus.take(2), 5.0);
+  // take() drains: a second read in the same slot sees nothing.
+  EXPECT_DOUBLE_EQ(bus.take(1), 0.0);
+  // Exports without neighbors vanish (hub 2 has nowhere to route).
+  bus.deposit(2, 7.0);
+  bus.exchange();
+  EXPECT_DOUBLE_EQ(bus.take(0), 0.0);
+  EXPECT_DOUBLE_EQ(bus.take(1), 0.0);
+  EXPECT_DOUBLE_EQ(bus.take(2), 0.0);
+  // drop_pending clears a lane's queued imports at episode turnover.
+  bus.deposit(0, 6.0);
+  bus.exchange();
+  bus.drop_pending(1);
+  EXPECT_DOUBLE_EQ(bus.take(1), 0.0);
+  EXPECT_DOUBLE_EQ(bus.take(2), 3.0);
+}
+
+TEST(CouplingBus, RejectsBadNeighborLists) {
+  EXPECT_THROW(CouplingBus({{1}, {5}}), std::invalid_argument);  // out of range
+  EXPECT_THROW(CouplingBus({{0}, {0}}), std::invalid_argument);  // self-loop
 }
 
 TEST(FleetRunnerLockstep, OversubscribedThreadsMatchSerial) {

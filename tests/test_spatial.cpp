@@ -1,7 +1,11 @@
-// Tests for the spatial substrate (Fig. 1: road/BS overlap).
+// Tests for the spatial substrate (Fig. 1: road/BS overlap) and the
+// MetroMap generator layered on top of it.
+#include "spatial/metro.hpp"
 #include "spatial/placement.hpp"
 #include "spatial/roads.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <gtest/gtest.h>
 
 namespace ecthub::spatial {
@@ -121,6 +125,121 @@ TEST(BsPlacement, Validation) {
   PlacementConfig ok;
   const BsPlacement placement(ok, net, Rng(18));
   EXPECT_THROW((void)placement.overlap_stats(net, 0, Rng(19)), std::invalid_argument);
+}
+
+TEST(ClosestPointOnSegment, ProjectsAndClamps) {
+  const Segment s{{0, 0}, {10, 0}};
+  const Point mid = closest_point_on_segment({5, 3}, s);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+  const Point clamped = closest_point_on_segment({-3, 4}, s);
+  EXPECT_DOUBLE_EQ(clamped.x, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.y, 0.0);
+  const Segment degenerate{{1, 1}, {1, 1}};
+  const Point snap = closest_point_on_segment({4, 5}, degenerate);
+  EXPECT_DOUBLE_EQ(snap.x, 1.0);
+  EXPECT_DOUBLE_EQ(snap.y, 1.0);
+}
+
+TEST(MetroMap, SeedReproducible) {
+  const MetroConfig cfg;
+  const MetroMap a(cfg, 42);
+  const MetroMap b(cfg, 42);
+  ASSERT_EQ(a.hubs().size(), b.hubs().size());
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+  for (std::size_t i = 0; i < a.hubs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.hubs()[i].site.x, b.hubs()[i].site.x);
+    EXPECT_EQ(a.hubs()[i].neighbors, b.hubs()[i].neighbors);
+    EXPECT_DOUBLE_EQ(a.through_rate(i), b.through_rate(i));
+  }
+  EXPECT_EQ(a.front_seed(), b.front_seed());
+
+  const MetroMap c(cfg, 43);
+  EXPECT_NE(a.checksum(), c.checksum());
+}
+
+// Golden checksum: pins the full generation pipeline (roads, survey, sites,
+// density, classification, adjacency) bit-for-bit.  If this moves, every
+// downstream metro fleet moves with it — bump deliberately, never silently.
+TEST(MetroMap, GoldenChecksum) {
+  const MetroMap map(MetroConfig{}, 42);
+  EXPECT_DOUBLE_EQ(map.checksum(), 3178.4502317864349);
+}
+
+TEST(MetroMap, ClassificationAndAdjacency) {
+  MetroConfig cfg;
+  cfg.num_hubs = 12;
+  cfg.neighbors_per_hub = 3;
+  cfg.urban_fraction = 0.5;
+  const MetroMap map(cfg, 7);
+  ASSERT_EQ(map.hubs().size(), 12u);
+
+  std::size_t urban = 0;
+  double min_urban_density = 1.0;
+  double max_rural_density = 0.0;
+  for (std::size_t i = 0; i < map.hubs().size(); ++i) {
+    const MetroHub& h = map.hubs()[i];
+    EXPECT_GE(h.density, 0.0);
+    EXPECT_LE(h.density, 1.0);
+    ASSERT_EQ(h.neighbors.size(), 3u);
+    ASSERT_EQ(h.road_km.size(), 3u);
+    for (std::size_t k = 0; k < h.neighbors.size(); ++k) {
+      EXPECT_NE(h.neighbors[k], i);
+      EXPECT_LT(h.neighbors[k], map.hubs().size());
+      EXPECT_GT(h.road_km[k], 0.0);
+    }
+    // k-nearest lists are sorted by road distance.
+    EXPECT_TRUE(std::is_sorted(h.road_km.begin(), h.road_km.end()));
+    EXPECT_GT(map.through_rate(i), 0.0);
+    if (h.urban) {
+      ++urban;
+      min_urban_density = std::min(min_urban_density, h.density);
+    } else {
+      max_rural_density = std::max(max_rural_density, h.density);
+    }
+  }
+  // Top half by density is urban, so every urban hub is at least as dense as
+  // every rural one.
+  EXPECT_EQ(urban, 6u);
+  EXPECT_GE(min_urban_density, max_rural_density);
+}
+
+TEST(MetroMap, ApplySiteModulatesDemandKeepsCharacter) {
+  const MetroMap map(MetroConfig{}, 42);
+  // Find one urban and one rural hub.
+  std::size_t urban_i = 0, rural_i = 0;
+  for (std::size_t i = 0; i < map.hubs().size(); ++i) {
+    (map.hubs()[i].urban ? urban_i : rural_i) = i;
+  }
+  const core::HubConfig urban_hub = map.hub_config(urban_i, "u", 1);
+  const core::HubConfig rural_hub = map.hub_config(rural_i, "r", 1);
+  EXPECT_EQ(urban_hub.station.num_plugs, 2u);
+  EXPECT_EQ(rural_hub.station.num_plugs, 1u);
+  EXPECT_GT(map.through_rate(urban_i), map.through_rate(rural_i));
+
+  core::HubConfig overlay = core::HubConfig::urban("x", 5);
+  const bool had_wt = overlay.plant.wt.has_value();
+  map.apply_site(rural_i, overlay);
+  EXPECT_EQ(overlay.station.station_id, rural_i);
+  EXPECT_EQ(overlay.site, core::HubSite::kUrban);          // character preserved
+  EXPECT_EQ(overlay.plant.wt.has_value(), had_wt);         // plant untouched
+  EXPECT_GE(overlay.ev_popularity, 0.2);
+  EXPECT_LE(overlay.ev_popularity, 0.95);
+}
+
+TEST(MetroMap, Validation) {
+  MetroConfig bad;
+  bad.num_hubs = 1;
+  EXPECT_THROW(MetroMap(bad, 1), std::invalid_argument);
+  MetroConfig bad2;
+  bad2.neighbors_per_hub = bad2.num_hubs;  // k must be < num_hubs
+  EXPECT_THROW(MetroMap(bad2, 1), std::invalid_argument);
+  MetroConfig bad3;
+  bad3.urban_fraction = 1.5;
+  EXPECT_THROW(MetroMap(bad3, 1), std::invalid_argument);
+  MetroConfig bad4;
+  bad4.detour_factor = 0.5;
+  EXPECT_THROW(MetroMap(bad4, 1), std::invalid_argument);
 }
 
 }  // namespace
