@@ -31,17 +31,19 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
 # threaded per-hub runner, the barrier-synchronized lockstep crew, the
 # four-way run/lockstep×1/coordinator-GEMM/worker-GEMM identity harness and
 # the coupled-metro identity harness — LockstepDeterminism.* and
-# CouplingBus.* match the filter below) plus the DRL and metro smokes, so
+# CouplingBus.* match the filter below), the vectorized rollout collector's
+# bit-identity suite (VecCollector*, whose crew shards env stepping and
+# row-block act_rows GEMMs across threads) plus the DRL and metro smokes, so
 # every push exercises the lockstep barriers, the concurrent row-block
-# decide_rows path and the slot-barrier CouplingBus exchange under TSan as
-# well as ASan (the ASan job above runs the full suite including both
+# decide_rows/act_rows paths and the slot-barrier CouplingBus exchange under
+# TSan as well as ASan (the ASan job above runs the full suite including the
 # smokes).
-echo "==> Job 4: TSan lockstep (test_sim + DRL/metro lockstep smokes)"
+echo "==> Job 4: TSan lockstep (test_sim + collector + DRL/metro smokes)"
 cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
-  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|city_sweep_drl|city_sweep_metro' \
+  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|city_sweep_drl|city_sweep_metro' \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 echo "==> CI green"

@@ -20,8 +20,20 @@
 //   $ ./city_sweep --scheduler drl --lockstep --lockstep-threads 8
 //   $ ./city_sweep --scheduler drl --lockstep-threads 8 --lockstep-gemm coordinator
 //   $ ./city_sweep --scheduler drl --drl-checkpoint actor.ckpt --drl-iters 8
+//   $ ./city_sweep --scheduler drl --drl-hubs 8 --drl-threads 4
+//   $ ./city_sweep --drl-zoo --drl-hubs 2           # specialist vs generalist
 //   $ ./city_sweep --metro 16 --scheduler all       # coupled metro fleet
 //   $ ./city_sweep --list                           # show the registry
+//
+// --drl-hubs N trains on N lockstep replica lanes of the training hub (the
+// vectorized PPO collector) and --drl-threads T shards collection across T
+// crew members (0 = hardware concurrency).  The trained weights are
+// bit-identical at any T, so the flag is purely a throughput choice.
+//
+// --drl-zoo trains the per-scenario actor zoo instead of sweeping: one PPO
+// specialist per selected scenario plus one generalist trained across all of
+// them, then deploys both on a fresh evaluation fleet per scenario and
+// prints the specialist-vs-generalist profit table.
 //
 // --lockstep-threads N shards the lockstep env-stepping phases across N
 // workers (0 = hardware concurrency) and implies --lockstep; results are
@@ -39,6 +51,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/fleet.hpp"
+#include "sim/drl_zoo.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/metro.hpp"
 #include "sim/report.hpp"
@@ -46,6 +59,7 @@
 #include "spatial/metro.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -73,8 +87,8 @@ std::vector<std::string> split_csv(const std::string& csv) {
 // actor on the first scenario's hub and (when a path was given) saves it.
 std::shared_ptr<const ecthub::policy::DrlCheckpoint> obtain_drl_checkpoint(
     const ecthub::sim::ScenarioRegistry& registry, const std::string& scenario_key,
-    std::size_t days, std::size_t iterations, std::uint64_t base_seed,
-    const std::string& path) {
+    std::size_t days, std::size_t iterations, std::size_t train_hubs,
+    std::size_t collector_threads, std::uint64_t base_seed, const std::string& path) {
   using namespace ecthub;
   if (!path.empty()) {
     std::ifstream in(path, std::ios::binary);
@@ -88,11 +102,14 @@ std::shared_ptr<const ecthub::policy::DrlCheckpoint> obtain_drl_checkpoint(
   train_cfg.env = scenario.env;
   train_cfg.env.episode_days = days;
   train_cfg.iterations = iterations;
+  train_cfg.train_hubs = train_hubs;
+  train_cfg.collector_threads = collector_threads;
   train_cfg.seed = sim::mix_seed(base_seed, 0x5eedULL);
   const core::HubConfig train_hub =
       scenario.make_hub(scenario_key + "-drl-train", train_cfg.seed);
   std::cout << "training ECT-DRL in process: " << iterations << " PPO iteration(s) on '"
-            << scenario_key << "' (" << days << " day episodes)...\n";
+            << scenario_key << "' (" << train_hubs << " lockstep lane(s), " << days
+            << " day episodes)...\n";
   auto ckpt = std::make_shared<policy::DrlCheckpoint>(
       core::train_drl_checkpoint(train_hub, train_cfg));
   if (!path.empty()) {
@@ -136,6 +153,9 @@ int main(int argc, char** argv) {
   const std::size_t days = require_positive("days", 7);
   const std::size_t episodes = require_positive("episodes", 1);
   const std::size_t drl_iters = require_positive("drl-iters", 4);
+  const std::size_t drl_hubs = require_positive("drl-hubs", 1);
+  const auto drl_threads = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, flags.get_int("drl-threads", 1)));  // 0 = hardware concurrency
   const auto threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, flags.get_int("threads", 0)));  // 0 = hardware concurrency
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
@@ -175,11 +195,63 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (flags.get_bool("drl-zoo")) {
+    sim::ZooTrainConfig zoo_cfg;
+    zoo_cfg.episode_days = days;
+    zoo_cfg.iterations = drl_iters;
+    zoo_cfg.train_hubs = drl_hubs;
+    zoo_cfg.collector_threads = drl_threads;
+    zoo_cfg.seed = sim::mix_seed(base_seed, 0x5eedULL);
+    std::cout << "=== Actor zoo: " << scenario_keys.size() << " scenario(s), "
+              << drl_iters << " PPO iteration(s), " << drl_hubs
+              << " lane(s) per specialist ===\n";
+    const sim::ActorZoo zoo = sim::train_actor_zoo(registry, scenario_keys, zoo_cfg);
+
+    sim::FleetRunnerConfig eval_cfg;
+    eval_cfg.base_seed = base_seed;
+    eval_cfg.threads = threads;
+    eval_cfg.episodes_per_hub = episodes;
+    const sim::FleetRunner eval_runner(eval_cfg);
+
+    // Deploy both actors on the *same* fresh evaluation fleet per scenario
+    // (identical hubs, seeds and episodes) so the edge column is fair.
+    const auto profit_per_hub_day =
+        [&](const std::string& key, const policy::DrlCheckpoint& ckpt) {
+          const std::vector<std::string> expanded(hubs_per_scenario, key);
+          const auto ckpt_ptr = std::make_shared<policy::DrlCheckpoint>(ckpt);
+          const std::vector<sim::FleetJob> jobs =
+              sim::make_fleet_jobs(registry, expanded, expanded.size(), days,
+                                   sim::SchedulerKind::kDrl, ckpt_ptr);
+          double profit = 0.0;
+          for (const sim::HubRunResult& r : eval_runner.run(jobs)) profit += r.profit;
+          return profit / static_cast<double>(hubs_per_scenario * episodes * days);
+        };
+
+    TextTable table({"scenario", "specialist $/hub-day", "generalist $/hub-day",
+                     "specialist edge"});
+    for (const std::string& key : zoo.keys) {
+      const double spec = profit_per_hub_day(key, zoo.specialists.at(key));
+      const double gen = profit_per_hub_day(key, zoo.generalist);
+      const double denom = std::abs(gen) > 1e-9 ? std::abs(gen) : 1.0;
+      std::ostringstream edge;
+      edge.setf(std::ios::fixed);
+      edge.precision(1);
+      edge << ((spec - gen) / denom * 100.0) << " %";
+      table.begin_row().add(key).add_double(spec).add_double(gen).add(edge.str());
+    }
+    std::cout << "\n--- Specialist vs generalist ("
+              << hubs_per_scenario << " eval hub(s)/scenario, " << episodes
+              << " episode(s) x " << days << " day(s)) ---\n";
+    table.print(std::cout);
+    return 0;
+  }
+
   // The trained actor deployed fleet-wide whenever a kDrl sweep runs.
   std::shared_ptr<const policy::DrlCheckpoint> checkpoint;
   if (std::find(kinds.begin(), kinds.end(), sim::SchedulerKind::kDrl) != kinds.end()) {
     checkpoint = obtain_drl_checkpoint(registry, scenario_keys.front(), days, drl_iters,
-                                       base_seed, flags.get_string("drl-checkpoint", ""));
+                                       drl_hubs, drl_threads, base_seed,
+                                       flags.get_string("drl-checkpoint", ""));
   }
 
   // One job per (scenario, replica), grouped by scenario: hub ids are

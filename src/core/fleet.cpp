@@ -1,8 +1,10 @@
 #include "core/fleet.hpp"
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "nn/serialize.hpp"
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -67,14 +69,14 @@ HubMethodResult run_hub_experiment(const HubConfig& hub,
   return result;
 }
 
-policy::DrlCheckpoint export_actor_checkpoint(rl::ActorCritic& ac) {
+policy::DrlCheckpoint export_actor_checkpoint(const rl::ActorCritic& ac) {
   policy::DrlCheckpoint ckpt;
   ckpt.config.state_dim = ac.config().state_dim;
   ckpt.config.action_count = ac.config().action_count;
   ckpt.config.trunk_dim = ac.config().trunk_dim;
   ckpt.config.head_dim = ac.config().head_dim;
-  std::vector<nn::Parameter> actor_params;
-  for (auto& p : ac.parameters()) {
+  std::vector<nn::ConstParameter> actor_params;
+  for (const auto& p : ac.parameters()) {
     if (p.name.starts_with("ac.trunk") || p.name.starts_with("ac.actor")) {
       actor_params.push_back(p);
     }
@@ -85,15 +87,54 @@ policy::DrlCheckpoint export_actor_checkpoint(rl::ActorCritic& ac) {
   return ckpt;
 }
 
+namespace {
+
+/// Stream tag separating the collector's per-lane sampling streams from the
+/// trainer's init/shuffle stream, both derived from DrlFleetTrainConfig::seed.
+constexpr std::uint64_t kCollectorSeedTag = 0xc011ec70ULL;
+
+}  // namespace
+
+policy::DrlCheckpoint train_drl_checkpoint(const std::vector<DrlTrainLane>& lanes,
+                                           const DrlFleetTrainConfig& cfg) {
+  if (lanes.empty()) throw std::invalid_argument("train_drl_checkpoint: no lanes");
+  std::vector<std::unique_ptr<EctHubEnv>> envs;
+  envs.reserve(lanes.size());
+  for (const DrlTrainLane& lane : lanes) {
+    envs.push_back(std::make_unique<EctHubEnv>(lane.hub, lane.env));
+  }
+  std::vector<rl::Env*> env_ptrs;
+  env_ptrs.reserve(envs.size());
+  for (auto& env : envs) env_ptrs.push_back(env.get());
+
+  rl::ActorCriticConfig ac_cfg;
+  ac_cfg.state_dim = env_ptrs.front()->state_dim();
+  ac_cfg.action_count = env_ptrs.front()->action_count();
+  rl::PpoTrainer trainer(cfg.ppo, ac_cfg, nn::Rng(cfg.seed));
+
+  rl::VecCollectorConfig collector;
+  collector.threads = cfg.collector_threads;
+  collector.seed = mix_seed(cfg.seed, kCollectorSeedTag);
+  trainer.train_fleet(env_ptrs, cfg.iterations, collector);
+  return export_actor_checkpoint(trainer.policy());
+}
+
 policy::DrlCheckpoint train_drl_checkpoint(const HubConfig& hub,
                                            const DrlFleetTrainConfig& cfg) {
-  EctHubEnv env(hub, cfg.env);
-  rl::ActorCriticConfig ac_cfg;
-  ac_cfg.state_dim = env.state_dim();
-  ac_cfg.action_count = env.action_count();
-  rl::PpoTrainer trainer(cfg.ppo, ac_cfg, nn::Rng(cfg.seed));
-  trainer.train(env, cfg.iterations);
-  return export_actor_checkpoint(trainer.policy());
+  if (cfg.train_hubs == 0) {
+    throw std::invalid_argument("train_drl_checkpoint: train_hubs == 0");
+  }
+  std::vector<DrlTrainLane> lanes;
+  lanes.reserve(cfg.train_hubs);
+  for (std::size_t l = 0; l < cfg.train_hubs; ++l) {
+    DrlTrainLane lane{hub, cfg.env};
+    // Replica lanes explore distinct episode streams; lane 0 is mixed too so
+    // the checkpoint depends only on (hub.seed, train_hubs), not on whether
+    // the single- or multi-lane recipe produced it.
+    lane.hub.seed = mix_seed(hub.seed, l);
+    lanes.push_back(std::move(lane));
+  }
+  return train_drl_checkpoint(lanes, cfg);
 }
 
 }  // namespace ecthub::core

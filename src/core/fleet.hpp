@@ -45,21 +45,42 @@ struct HubMethodResult {
 /// actor-critic into a deployable DrlPolicy checkpoint.  The critic head is
 /// training-time baggage and is dropped; parameter names carry over, so the
 /// checkpoint loads straight into policy::DrlPolicy and any architecture
-/// mismatch fails loudly at load time.
-[[nodiscard]] policy::DrlCheckpoint export_actor_checkpoint(rl::ActorCritic& ac);
+/// mismatch fails loudly at load time.  Const: a const trainer can be
+/// checkpointed mid-training (e.g. from the rollout collector).
+[[nodiscard]] policy::DrlCheckpoint export_actor_checkpoint(const rl::ActorCritic& ac);
 
-/// In-process training recipe behind SchedulerKind::kDrl: PPO on one
-/// representative hub, actor exported for fleet-wide deployment.
+/// In-process training recipe behind SchedulerKind::kDrl: PPO over a fleet
+/// of env lanes collected in lockstep, actor exported for deployment.
 struct DrlFleetTrainConfig {
   HubEnvConfig env;      ///< episode shape to train under
   rl::PpoConfig ppo;
   std::size_t iterations = 4;  ///< PPO collect+update cycles
   std::uint64_t seed = 99;
+  /// Rollout lanes: replicas of the training hub (seeded mix_seed(hub.seed,
+  /// lane)) stepped in lockstep, episodes_per_iteration episodes per lane.
+  std::size_t train_hubs = 1;
+  /// Crew size for the vectorized collection phase (0 = hardware
+  /// concurrency).  Any value trains bit-identical weights.
+  std::size_t collector_threads = 1;
 };
 
-/// Trains a PPO policy on `hub` and returns the deployable actor checkpoint
-/// — what a fleet sweep loads when no pre-trained checkpoint is on disk.
+/// One rollout lane of a multi-hub training run.
+struct DrlTrainLane {
+  HubConfig hub;
+  HubEnvConfig env;
+};
+
+/// Trains a PPO policy on `cfg.train_hubs` lockstep replicas of `hub` and
+/// returns the deployable actor checkpoint — what a fleet sweep loads when
+/// no pre-trained checkpoint is on disk.
 [[nodiscard]] policy::DrlCheckpoint train_drl_checkpoint(const HubConfig& hub,
                                                          const DrlFleetTrainConfig& cfg);
+
+/// Heterogeneous-lane variant (the actor-zoo generalist trains across
+/// scenario presets this way): one env lane per entry, exactly as given —
+/// cfg.env and cfg.train_hubs are ignored, lane seeds are the callers'.
+/// All lanes must agree on the observation layout.
+[[nodiscard]] policy::DrlCheckpoint train_drl_checkpoint(
+    const std::vector<DrlTrainLane>& lanes, const DrlFleetTrainConfig& cfg);
 
 }  // namespace ecthub::core

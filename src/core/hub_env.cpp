@@ -207,8 +207,11 @@ void EctHubEnv::observe_into(std::span<double> out) const {
   std::size_t pos = 0;
   const auto window = [&](const std::vector<double>& series, double scale) {
     for (std::size_t k = cfg_.lookback; k-- > 0;) {
-      // Slots t-k .. t; pad the episode start with the first value.
-      const std::size_t idx = t_ >= k ? t_ - k : 0;
+      // Slots t-k .. t; pad the episode start with the first value.  At the
+      // horizon (t_ == size, the final observation emitted by the last
+      // step) the window holds the last generated slot — a no-op clamp for
+      // every in-episode slot.
+      const std::size_t idx = std::min(t_ >= k ? t_ - k : 0, series.size() - 1);
       out[pos++] = series[idx] / scale;
     }
   };
@@ -218,7 +221,11 @@ void EctHubEnv::observe_into(std::span<double> out) const {
   window(traffic_.load_rate, 1.0);
   window(srtp_, ObservationLayout::kPriceScale);
   out[pos++] = pack_->soc_frac();
-  const double hour = hour_of_day(t_);
+  // Wrapping by hand keeps the final observation (t_ == size, where
+  // TimeGrid::hour_of_day would range-check) on the same 24 h phase;
+  // identical to hour_of_day(t_) for every in-episode slot.
+  const double hour = static_cast<double>(t_ % cfg_.slots_per_day) *
+                      (24.0 / static_cast<double>(cfg_.slots_per_day));
   out[pos++] = std::sin(2.0 * std::numbers::pi * hour / 24.0);
   out[pos] = std::cos(2.0 * std::numbers::pi * hour / 24.0);
 }
@@ -243,6 +250,7 @@ rl::StepResult EctHubEnv::step(std::size_t action) {
   const StepOutcome outcome = step_into(action, result.next_state);
   result.reward = outcome.reward;
   result.done = outcome.done;
+  result.truncated = outcome.truncated;
   return result;
 }
 
@@ -324,12 +332,13 @@ StepOutcome EctHubEnv::step_into(std::size_t action, std::span<double> next_stat
   StepOutcome outcome;
   outcome.reward = reward;
   outcome.done = t_ >= slots_per_episode();
-  if (!outcome.done) {
-    observe_into(next_state);
-  } else {
-    std::fill(next_state.begin(), next_state.end(), 0.0);
-    episode_ready_ = false;
-  }
+  // The horizon is the env's only end condition — a time-limit truncation of
+  // the paper's infinite-horizon MDP, not a terminal state — so the final
+  // observation is emitted for critic bootstrapping before the episode
+  // closes (observe_into clamps its windows at the horizon).
+  outcome.truncated = outcome.done;
+  observe_into(next_state);
+  if (outcome.done) episode_ready_ = false;
   return outcome;
 }
 

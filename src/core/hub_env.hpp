@@ -74,10 +74,11 @@ struct HubEnvConfig {
 };
 
 /// Reward / termination of one allocation-free step (EctHubEnv::step_into).
-struct StepOutcome {
-  double reward = 0.0;
-  bool done = false;
-};
+/// Lives on the rl::Env interface now that the vectorized rollout collector
+/// drives arbitrary envs through the into-path; the alias keeps core
+/// spelling unchanged.  EctHubEnv episodes end only at the fixed horizon,
+/// so `done` always comes with `truncated` — GAE bootstraps V(s_T) there.
+using StepOutcome = rl::StepOutcome;
 
 /// The coupling in/out view of one slot (EctHubEnv::step_into 3-arg
 /// overload).  `import_kw` is the caller's input: demand arriving from
@@ -119,12 +120,15 @@ class EctHubEnv final : public rl::Env {
 
   /// reset() without the return-value allocation: regenerates the episode
   /// and writes the initial observation into `state`.
-  void reset_into(std::span<double> state);
+  void reset_into(std::span<double> state) override;
 
   /// step() without the StepResult allocation: applies `action`, writes the
-  /// next observation into `next_state` (zero-filled when the episode ends)
-  /// and returns the reward/done pair.  Bit-identical to step().
-  StepOutcome step_into(std::size_t action, std::span<double> next_state);
+  /// next observation into `next_state` and returns the reward/done pair.
+  /// Bit-identical to step().  When the episode ends (always a horizon
+  /// truncation here, so done comes with truncated) the buffer holds the
+  /// *final* observation — the lookback windows hold their last slot and
+  /// the hour-of-day encoding wraps — so a critic can bootstrap V(s_T).
+  StepOutcome step_into(std::size_t action, std::span<double> next_state) override;
 
   /// The coupling-aware step: reads `coupling.import_kw` (demand routed here
   /// by neighbor hubs), serves this slot's through demand and imports with

@@ -52,6 +52,10 @@ std::vector<Parameter> Dense::parameters() {
   return {{name_ + ".W", &w_, &dw_}, {name_ + ".b", &b_, &db_}};
 }
 
+std::vector<ConstParameter> Dense::parameters() const {
+  return {{name_ + ".W", &w_}, {name_ + ".b", &b_}};
+}
+
 Embedding::Embedding(std::size_t vocab, std::size_t dim, Rng& rng, std::string name)
     : name_(std::move(name)),
       table_(Matrix::randn(vocab, dim, rng)),
@@ -156,6 +160,23 @@ Matrix softmax_rows(const Matrix& logits) {
     for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= denom;
   }
   return out;
+}
+
+void softmax_row_into(const Matrix& logits, std::size_t row, std::vector<double>& out) {
+  if (row >= logits.rows()) throw std::out_of_range("softmax_row_into: row out of range");
+  const std::size_t cols = logits.cols();
+  out.resize(cols);
+  // The exact operation sequence of softmax_rows — max-stabilize, exp in
+  // column order, accumulate, divide — so each value is bit-identical to
+  // the same element of the full-matrix call.
+  double mx = logits(row, 0);
+  for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, logits(row, c));
+  double denom = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    out[c] = std::exp(logits(row, c) - mx);
+    denom += out[c];
+  }
+  for (std::size_t c = 0; c < cols; ++c) out[c] /= denom;
 }
 
 Matrix softmax_backward(const Matrix& softmax_out, const Matrix& dsoftmax) {

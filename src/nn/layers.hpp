@@ -24,6 +24,13 @@ struct Parameter {
   Matrix* grad = nullptr;
 };
 
+/// Read-only view of a parameter tensor — what serialization needs from a
+/// const model (checkpointing mid-training without mutable access).
+struct ConstParameter {
+  std::string name;
+  const Matrix* value = nullptr;
+};
+
 /// Fully connected layer: Y = X W + b.
 class Dense {
  public:
@@ -42,6 +49,7 @@ class Dense {
 
   void zero_grad();
   [[nodiscard]] std::vector<Parameter> parameters();
+  [[nodiscard]] std::vector<ConstParameter> parameters() const;
 
   [[nodiscard]] std::size_t in_dim() const noexcept { return w_.rows(); }
   [[nodiscard]] std::size_t out_dim() const noexcept { return w_.cols(); }
@@ -101,6 +109,11 @@ class ActivationLayer {
 
 /// Row-wise softmax (numerically stabilized).
 [[nodiscard]] Matrix softmax_rows(const Matrix& logits);
+
+/// Softmax of one row of `logits` written into `out` (resized to cols) —
+/// the same operation sequence as softmax_rows, so the values are
+/// bit-identical to that row of the full-matrix call.
+void softmax_row_into(const Matrix& logits, std::size_t row, std::vector<double>& out);
 
 /// Backward of softmax given dL/dsoftmax; returns dL/dlogits.
 [[nodiscard]] Matrix softmax_backward(const Matrix& softmax_out, const Matrix& dsoftmax);

@@ -58,6 +58,14 @@ std::vector<Parameter> Mlp::parameters() {
   return out;
 }
 
+std::vector<ConstParameter> Mlp::parameters() const {
+  std::vector<ConstParameter> out;
+  for (const auto& d : dense_) {
+    for (const auto& p : d.parameters()) out.push_back(p);
+  }
+  return out;
+}
+
 std::size_t Mlp::in_dim() const { return dense_.front().in_dim(); }
 std::size_t Mlp::out_dim() const { return dense_.back().out_dim(); }
 

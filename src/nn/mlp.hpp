@@ -33,6 +33,7 @@ class Mlp {
 
   void zero_grad();
   [[nodiscard]] std::vector<Parameter> parameters();
+  [[nodiscard]] std::vector<ConstParameter> parameters() const;
 
   [[nodiscard]] std::size_t in_dim() const;
   [[nodiscard]] std::size_t out_dim() const;

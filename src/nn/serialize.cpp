@@ -24,7 +24,7 @@ std::uint64_t read_u64(std::istream& in) {
 
 }  // namespace
 
-void save_parameters(std::ostream& out, const std::vector<Parameter>& params) {
+void save_parameters(std::ostream& out, const std::vector<ConstParameter>& params) {
   write_u64(out, kMagic);
   write_u64(out, params.size());
   for (const auto& p : params) {
@@ -37,6 +37,13 @@ void save_parameters(std::ostream& out, const std::vector<Parameter>& params) {
               static_cast<std::streamsize>(p.value->data().size() * sizeof(double)));
   }
   if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void save_parameters(std::ostream& out, const std::vector<Parameter>& params) {
+  std::vector<ConstParameter> views;
+  views.reserve(params.size());
+  for (const auto& p : params) views.push_back({p.name, p.value});
+  save_parameters(out, views);
 }
 
 void load_parameters(std::istream& in, std::vector<Parameter>& params) {

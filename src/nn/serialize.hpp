@@ -14,6 +14,11 @@ namespace ecthub::nn {
 /// Throws std::runtime_error on I/O failure.
 void save_parameters(std::ostream& out, const std::vector<Parameter>& params);
 
+/// Same format from read-only parameter views — checkpointing a const model
+/// (e.g. mid-training export from the rollout collector).  Byte-identical
+/// output to the mutable overload for the same tensors.
+void save_parameters(std::ostream& out, const std::vector<ConstParameter>& params);
+
 /// Reads tensors back into `params`.  Names and shapes must match exactly
 /// (same model architecture); throws std::runtime_error otherwise.
 void load_parameters(std::istream& in, std::vector<Parameter>& params);

@@ -1,5 +1,6 @@
 #include "rl/actor_critic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -35,6 +36,14 @@ PolicyOutput ActorCritic::forward(const nn::Matrix& states) {
 
 void ActorCritic::backward(const nn::Matrix& dprobs, const nn::Matrix& dvalues) {
   if (cached_probs_.empty()) throw std::logic_error("ActorCritic::backward before forward");
+  if (dprobs.rows() != cached_probs_.rows() || dprobs.cols() != cached_probs_.cols()) {
+    throw std::invalid_argument(
+        "ActorCritic::backward: dprobs shape does not match the cached forward batch");
+  }
+  if (dvalues.rows() != cached_probs_.rows() || dvalues.cols() != 1) {
+    throw std::invalid_argument(
+        "ActorCritic::backward: dvalues shape does not match the cached forward batch");
+  }
   const nn::Matrix dlogits = nn::softmax_backward(cached_probs_, dprobs);
   nn::Matrix dh = actor_.backward(dlogits);
   dh.add_inplace(critic_.backward(dvalues));
@@ -54,28 +63,89 @@ std::vector<nn::Parameter> ActorCritic::parameters() {
   return out;
 }
 
+std::vector<nn::ConstParameter> ActorCritic::parameters() const {
+  std::vector<nn::ConstParameter> out = trunk_.parameters();
+  for (const auto& p : actor_.parameters()) out.push_back(p);
+  for (const auto& p : critic_.parameters()) out.push_back(p);
+  return out;
+}
+
+ActorCritic::RowsOutput ActorCritic::forward_rows(const nn::Matrix& states,
+                                                  std::size_t row_begin,
+                                                  std::size_t row_end,
+                                                  RowsWorkspace& ws) const {
+  if (states.cols() != cfg_.state_dim) {
+    throw std::invalid_argument("ActorCritic: state dim mismatch");
+  }
+  if (row_begin > row_end || row_end > states.rows()) {
+    throw std::invalid_argument("ActorCritic: bad row range");
+  }
+  trunk_.forward_rows_into(states, row_begin, row_end, ws.trunk);
+  trunk_act_.forward_inplace(ws.trunk);
+  RowsOutput out;
+  out.logits = &actor_.forward_rows(ws.trunk, 0, ws.trunk.rows(), ws.actor_scratch);
+  out.values = &critic_.forward_rows(ws.trunk, 0, ws.trunk.rows(), ws.critic_scratch);
+  return out;
+}
+
+void ActorCritic::act_rows(const nn::Matrix& states, std::size_t row_begin,
+                           std::size_t row_end, std::span<nn::Rng> rngs,
+                           std::span<Sample> out, RowsWorkspace& ws,
+                           std::span<const std::uint8_t> active) const {
+  if (rngs.size() != states.rows() || out.size() != states.rows()) {
+    throw std::invalid_argument("ActorCritic::act_rows: rngs/out size != states.rows()");
+  }
+  if (!active.empty() && active.size() != states.rows()) {
+    throw std::invalid_argument("ActorCritic::act_rows: active size != states.rows()");
+  }
+  if (row_begin == row_end) return;
+  const RowsOutput fwd = forward_rows(states, row_begin, row_end, ws);
+  for (std::size_t i = 0; i < row_end - row_begin; ++i) {
+    const std::size_t r = row_begin + i;
+    if (!active.empty() && active[r] == 0) continue;
+    nn::softmax_row_into(*fwd.logits, i, ws.probs);
+    Sample s;
+    s.action = rngs[r].categorical(ws.probs);
+    s.log_prob = std::log(std::max(ws.probs[s.action], 1e-12));
+    s.value = (*fwd.values)(i, 0);
+    out[r] = s;
+  }
+}
+
+double ActorCritic::value_of(std::span<const double> state, RowsWorkspace& ws) const {
+  if (state.size() != cfg_.state_dim) {
+    throw std::invalid_argument("ActorCritic::value_of: state dim mismatch");
+  }
+  ws.single.resize_zeroed(1, cfg_.state_dim);
+  std::copy(state.begin(), state.end(), ws.single.data().begin());
+  const RowsOutput fwd = forward_rows(ws.single, 0, 1, ws);
+  return (*fwd.values)(0, 0);
+}
+
 ActorCritic::Sample ActorCritic::act(const std::vector<double>& state, nn::Rng& rng) {
   if (state.size() != cfg_.state_dim) throw std::invalid_argument("act: state dim mismatch");
-  const nn::Matrix s = nn::Matrix::from_rows({state});
-  const PolicyOutput out = forward(s);
-  std::vector<double> probs(cfg_.action_count);
-  for (std::size_t a = 0; a < cfg_.action_count; ++a) probs[a] = out.probs(0, a);
-  Sample sample;
-  sample.action = rng.categorical(probs);
-  sample.log_prob = std::log(std::max(probs[sample.action], 1e-12));
-  sample.value = out.values(0, 0);
-  return sample;
+  // Own scratch (act_ws_), not the training path: sampling between forward()
+  // and backward() no longer clobbers the cached softmax batch.
+  act_ws_.single.resize_zeroed(1, cfg_.state_dim);
+  std::copy(state.begin(), state.end(), act_ws_.single.data().begin());
+  Sample s;
+  act_rows(act_ws_.single, 0, 1, std::span<nn::Rng>(&rng, 1), std::span<Sample>(&s, 1),
+           act_ws_);
+  return s;
 }
 
 std::size_t ActorCritic::act_greedy(const std::vector<double>& state) {
   if (state.size() != cfg_.state_dim) {
     throw std::invalid_argument("act_greedy: state dim mismatch");
   }
-  const nn::Matrix s = nn::Matrix::from_rows({state});
-  const PolicyOutput out = forward(s);
+  act_ws_.single.resize_zeroed(1, cfg_.state_dim);
+  std::copy(state.begin(), state.end(), act_ws_.single.data().begin());
+  const RowsOutput fwd = forward_rows(act_ws_.single, 0, 1, act_ws_);
+  // argmax over logits == argmax over softmax probabilities (strictly
+  // increasing per-row map), including tie order.
   std::size_t best = 0;
   for (std::size_t a = 1; a < cfg_.action_count; ++a) {
-    if (out.probs(0, a) > out.probs(0, best)) best = a;
+    if ((*fwd.logits)(0, a) > (*fwd.logits)(0, best)) best = a;
   }
   return best;
 }

@@ -1,0 +1,25 @@
+#include "rl/env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecthub::rl {
+
+void Env::reset_into(std::span<double> state) {
+  const std::vector<double> s = reset();
+  if (state.size() != s.size()) {
+    throw std::invalid_argument("Env::reset_into: buffer size != state_dim()");
+  }
+  std::copy(s.begin(), s.end(), state.begin());
+}
+
+StepOutcome Env::step_into(std::size_t action, std::span<double> next_state) {
+  const StepResult r = step(action);
+  if (next_state.size() != r.next_state.size()) {
+    throw std::invalid_argument("Env::step_into: buffer size != state_dim()");
+  }
+  std::copy(r.next_state.begin(), r.next_state.end(), next_state.begin());
+  return StepOutcome{r.reward, r.done, r.truncated};
+}
+
+}  // namespace ecthub::rl

@@ -2,9 +2,17 @@
 //
 // The ECT-Hub environment (src/core/hub_env.hpp) implements this interface;
 // keeping it abstract lets the PPO trainer be unit-tested on toy MDPs.
+//
+// Termination vs truncation.  `done` ends the episode either way; `truncated`
+// distinguishes a time-limit cut (the paper's infinite-horizon MDP stopped at
+// the training horizon — the tail still has value, so GAE bootstraps V(s_T))
+// from a true terminal state (no future value, bootstrap zero).  EctHubEnv
+// episodes end only at the fixed horizon, so it always truncates; toy MDPs
+// with real terminals leave the flag false.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ecthub::rl {
@@ -13,6 +21,14 @@ struct StepResult {
   std::vector<double> next_state;
   double reward = 0.0;
   bool done = false;
+  bool truncated = false;  ///< done by time limit, not a terminal state
+};
+
+/// Reward / termination of one allocation-free step (Env::step_into).
+struct StepOutcome {
+  double reward = 0.0;
+  bool done = false;
+  bool truncated = false;  ///< done by time limit, not a terminal state
 };
 
 class Env {
@@ -24,6 +40,20 @@ class Env {
 
   /// Applies a discrete action in [0, action_count).
   virtual StepResult step(std::size_t action) = 0;
+
+  // ---- Allocation-free fast path ----------------------------------------
+  // The vectorized rollout collector drives lanes through these overloads
+  // with one persistent observation row per lane.  The defaults forward to
+  // reset()/step() and copy (correct for toy MDPs); EctHubEnv overrides
+  // them with its zero-allocation in-place path.
+
+  /// reset() writing the initial state into `state` (size == state_dim()).
+  virtual void reset_into(std::span<double> state);
+
+  /// step() writing the next observation into `next_state`.  On done the
+  /// buffer holds the final observation (what V(s_T) is evaluated on when
+  /// the episode was truncated).
+  virtual StepOutcome step_into(std::size_t action, std::span<double> next_state);
 
   [[nodiscard]] virtual std::size_t state_dim() const = 0;
   [[nodiscard]] virtual std::size_t action_count() const = 0;

@@ -32,6 +32,12 @@ double PpoTrainer::collect_episode(Env& env, RolloutBuffer& buffer) {
     t.reward = result.reward;
     t.value = sample.value;
     t.done = result.done;
+    t.truncated = result.done && result.truncated;
+    if (t.truncated) {
+      // Time-limit end: GAE bootstraps the critic's view of the final state
+      // instead of assuming a terminal (the paper's MDP has no terminal).
+      t.bootstrap_value = ac_.value_of(result.next_state, value_ws_);
+    }
     buffer.add(std::move(t));
     total_reward += result.reward;
     state = result.next_state;
@@ -44,7 +50,8 @@ PpoUpdateStats PpoTrainer::update(const RolloutBuffer& buffer) {
   const auto& trans = buffer.transitions();
   if (trans.empty()) throw std::invalid_argument("PpoTrainer::update: empty buffer");
 
-  // Episodes end with done = true, so no bootstrap value is needed.
+  // Episodes end with done = true, so no trailing bootstrap is needed here;
+  // truncated episodes carry their own per-transition bootstrap_value.
   RolloutBuffer::Targets targets = buffer.compute_gae(cfg_.gamma, cfg_.gae_lambda, 0.0);
   RolloutBuffer::normalize(targets.advantages);
 
@@ -143,6 +150,28 @@ std::vector<PpoIterationStats> PpoTrainer::train(Env& env, std::size_t iteration
     stats.mean_episode_reward = reward_acc / static_cast<double>(cfg_.episodes_per_iteration);
     stats.update = update(buffer);
     history.push_back(stats);
+  }
+  return history;
+}
+
+std::vector<PpoIterationStats> PpoTrainer::train_fleet(const std::vector<Env*>& envs,
+                                                       std::size_t iterations,
+                                                       const VecCollectorConfig& collector) {
+  VecRolloutCollector vec(envs, collector);
+  std::vector<PpoIterationStats> history;
+  history.reserve(iterations);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    vec.clear();
+    const VecRolloutCollector::Stats stats =
+        vec.collect(ac_, cfg_.episodes_per_iteration);
+    RolloutBuffer merged;
+    merged.reserve(stats.transitions);
+    for (const RolloutBuffer& lane : vec.buffers()) merged.append(lane);
+    PpoIterationStats iteration;
+    iteration.mean_episode_reward =
+        stats.episodes > 0 ? stats.total_reward / static_cast<double>(stats.episodes) : 0.0;
+    iteration.update = update(merged);
+    history.push_back(iteration);
   }
   return history;
 }

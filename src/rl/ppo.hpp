@@ -12,6 +12,7 @@
 #include "rl/actor_critic.hpp"
 #include "rl/env.hpp"
 #include "rl/rollout.hpp"
+#include "rl/vec_collector.hpp"
 
 #include <vector>
 
@@ -52,6 +53,17 @@ class PpoTrainer {
   /// Runs `iterations` collect+update cycles on `env`.
   std::vector<PpoIterationStats> train(Env& env, std::size_t iterations);
 
+  /// Fleet-scale training: `iterations` cycles of vectorized lockstep
+  /// collection over N env lanes (episodes_per_iteration episodes *per
+  /// lane*, batched stochastic forwards via ActorCritic::act_rows) followed
+  /// by the standard PPO update on the lane-merged buffer.  Collection
+  /// samples from the collector's per-lane streams — never from the
+  /// trainer's rng_ — and the update path is untouched, so the trained
+  /// weights are bit-identical at any VecCollectorConfig::threads.
+  std::vector<PpoIterationStats> train_fleet(const std::vector<Env*>& envs,
+                                             std::size_t iterations,
+                                             const VecCollectorConfig& collector = {});
+
   /// Mean episode reward under the greedy policy over `episodes` fresh
   /// episodes (no learning).
   double evaluate(Env& env, std::size_t episodes);
@@ -60,6 +72,7 @@ class PpoTrainer {
   std::vector<double> evaluate_episodes(Env& env, std::size_t episodes);
 
   [[nodiscard]] ActorCritic& policy() noexcept { return ac_; }
+  [[nodiscard]] const ActorCritic& policy() const noexcept { return ac_; }
   [[nodiscard]] const PpoConfig& config() const noexcept { return cfg_; }
 
   /// One PPO update over an externally-collected buffer (exposed for tests).
@@ -73,6 +86,7 @@ class PpoTrainer {
   nn::Rng rng_;
   ActorCritic ac_;
   nn::Adam opt_;
+  ActorCritic::RowsWorkspace value_ws_;  ///< truncation-bootstrap scratch
 };
 
 }  // namespace ecthub::rl

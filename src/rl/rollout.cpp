@@ -7,6 +7,11 @@ namespace ecthub::rl {
 
 void RolloutBuffer::add(Transition t) { transitions_.push_back(std::move(t)); }
 
+void RolloutBuffer::append(const RolloutBuffer& other) {
+  transitions_.insert(transitions_.end(), other.transitions_.begin(),
+                      other.transitions_.end());
+}
+
 void RolloutBuffer::clear() { transitions_.clear(); }
 
 RolloutBuffer::Targets RolloutBuffer::compute_gae(double gamma, double lambda,
@@ -24,7 +29,12 @@ RolloutBuffer::Targets RolloutBuffer::compute_gae(double gamma, double lambda,
   for (std::size_t i = n; i-- > 0;) {
     const Transition& t = transitions_[i];
     const double mask = t.done ? 0.0 : 1.0;
-    const double delta = t.reward + gamma * next_value * mask - t.value;
+    // The advantage chain always cuts at an episode boundary (mask), but the
+    // one-step bootstrap distinguishes how it ended: a true terminal has no
+    // future value, while a time-limit truncation bootstraps the critic's
+    // V(s_T) recorded on the transition (paper's infinite-horizon MDP).
+    const double next_v = t.done ? (t.truncated ? t.bootstrap_value : 0.0) : next_value;
+    const double delta = t.reward + gamma * next_v - t.value;
     gae = delta + gamma * lambda * mask * gae;
     out.advantages[i] = gae;
     out.returns[i] = gae + t.value;

@@ -14,12 +14,19 @@ struct Transition {
   double reward = 0.0;
   double value = 0.0;     ///< V_old(s)
   bool done = false;
+  /// done by time limit: the tail still has value, so GAE bootstraps
+  /// `bootstrap_value` (= V(s_T), recorded by the collector) instead of 0.
+  bool truncated = false;
+  double bootstrap_value = 0.0;
 };
 
 class RolloutBuffer {
  public:
   void add(Transition t);
+  /// Appends a copy of `other`'s transitions (lane merge before an update).
+  void append(const RolloutBuffer& other);
   void clear();
+  void reserve(std::size_t n) { transitions_.reserve(n); }
 
   [[nodiscard]] std::size_t size() const noexcept { return transitions_.size(); }
   [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {

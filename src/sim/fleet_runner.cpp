@@ -1,5 +1,6 @@
 #include "sim/fleet_runner.hpp"
 
+#include "common/crew.hpp"
 #include "common/parse.hpp"
 #include "common/time_grid.hpp"
 #include "policy/rule_policies.hpp"
@@ -8,7 +9,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <barrier>
 #include <exception>
 #include <functional>
 #include <limits>
@@ -28,74 +28,10 @@ namespace {
 // tag so a RandomPolicy never replays the env's own draws.
 constexpr std::uint64_t kPolicySeedTag = 0xec7ec7ec7ec7ec7eULL;
 
-// Barrier-synchronized worker crew for the threaded lockstep path.  A crew
-// of N spawns N - 1 worker threads; the coordinator opens a phase with
-// run(task), executes the last partition itself between the two barriers
-// (so N configured threads cost exactly N busy threads, never N + 1), and
-// the call returns once every participant has finished.  Exceptions are
-// caught inside the phase (so a throwing participant still reaches the
-// completion barrier — no deadlock) and the first one recorded is rethrown
-// from run() on the coordinator.
-class LockstepCrew {
- public:
-  explicit LockstepCrew(std::size_t size)
-      : workers_(size - 1), sync_(static_cast<std::ptrdiff_t>(size)) {
-    threads_.reserve(workers_);
-    for (std::size_t w = 0; w < workers_; ++w) {
-      threads_.emplace_back([this, w] { work(w); });
-    }
-  }
-
-  ~LockstepCrew() {
-    stop_ = true;
-    sync_.arrive_and_wait();  // release the crew; workers see stop_ and exit
-    for (std::thread& t : threads_) t.join();
-  }
-
-  LockstepCrew(const LockstepCrew&) = delete;
-  LockstepCrew& operator=(const LockstepCrew&) = delete;
-
-  void run(const std::function<void(std::size_t)>& task) {
-    task_ = &task;
-    sync_.arrive_and_wait();  // open the phase
-    invoke(task, workers_);   // the coordinator's own partition
-    sync_.arrive_and_wait();  // wait until every worker finished too
-    if (error_) {
-      std::exception_ptr error = error_;
-      error_ = nullptr;
-      std::rethrow_exception(error);
-    }
-  }
-
- private:
-  void invoke(const std::function<void(std::size_t)>& task, std::size_t index) {
-    try {
-      task(index);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!error_) error_ = std::current_exception();
-    }
-  }
-
-  void work(std::size_t index) {
-    for (;;) {
-      sync_.arrive_and_wait();
-      // stop_ and task_ are written by the coordinator before it arrives at
-      // the opening barrier, which sequences them before this read.
-      if (stop_) return;
-      invoke(*task_, index);
-      sync_.arrive_and_wait();
-    }
-  }
-
-  std::size_t workers_;
-  std::barrier<> sync_;
-  std::vector<std::thread> threads_;
-  const std::function<void(std::size_t)>* task_ = nullptr;
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
-  bool stop_ = false;
-};
+// The barrier-synchronized worker crew of the threaded lockstep path lives
+// in common/crew.hpp (it is shared with rl::VecRolloutCollector); the alias
+// keeps the lockstep code reading in fleet terms.
+using LockstepCrew = ecthub::BarrierCrew;
 }  // namespace
 
 const std::vector<SchedulerKind>& all_scheduler_kinds() {

@@ -595,5 +595,62 @@ TEST(Fleet, RunHubExperimentSmoke) {
   EXPECT_TRUE(std::isfinite(result.avg_daily_reward));
 }
 
+TEST(EctHubEnv, HorizonEndIsTruncatedWithRealObservation) {
+  // The horizon is a time limit, not a terminal state: the last step must
+  // flag truncated alongside done and hand back a real (finite, in-range)
+  // final observation for the critic bootstrap — not a zeroed buffer.
+  EctHubEnv env(HubConfig::urban("trunc", 64), small_env(1));
+  env.reset();
+  rl::StepResult last;
+  bool done = false;
+  while (!done) {
+    last = env.step(1);
+    done = last.done;
+  }
+  EXPECT_TRUE(last.truncated);
+  ASSERT_EQ(last.next_state.size(), env.state_dim());
+  double magnitude = 0.0;
+  for (const double x : last.next_state) {
+    EXPECT_TRUE(std::isfinite(x));
+    magnitude += std::abs(x);
+  }
+  EXPECT_GT(magnitude, 0.0);
+}
+
+TEST(EctHubEnv, MidEpisodeStepsAreNotTruncated) {
+  EctHubEnv env(HubConfig::urban("trunc2", 65), small_env(1));
+  env.reset();
+  const rl::StepResult first = env.step(0);
+  EXPECT_FALSE(first.done);
+  EXPECT_FALSE(first.truncated);
+}
+
+TEST(VecCollectorFleet, CheckpointBlobIdenticalAcrossCollectorThreads) {
+  // train_drl_checkpoint routes through the vectorized collector; the crew
+  // size must not leak into the trained weights.
+  const auto train = [](std::size_t collector_threads) {
+    DrlFleetTrainConfig cfg;
+    cfg.env.episode_days = 1;
+    cfg.ppo.episodes_per_iteration = 2;
+    cfg.iterations = 2;
+    cfg.train_hubs = 3;
+    cfg.collector_threads = collector_threads;
+    return train_drl_checkpoint(HubConfig::urban("vec", 21), cfg);
+  };
+  const policy::DrlCheckpoint one = train(1);
+  const policy::DrlCheckpoint four = train(4);
+  EXPECT_EQ(one.blob, four.blob);
+  EXPECT_FALSE(one.blob.empty());
+}
+
+TEST(VecCollectorFleet, MultiLaneTrainingValidates) {
+  DrlFleetTrainConfig cfg;
+  EXPECT_THROW((void)train_drl_checkpoint(std::vector<DrlTrainLane>{}, cfg),
+               std::invalid_argument);
+  cfg.train_hubs = 0;
+  EXPECT_THROW((void)train_drl_checkpoint(HubConfig::urban("bad", 22), cfg),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ecthub::core

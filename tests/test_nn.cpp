@@ -554,5 +554,44 @@ TEST(Adam, StepCounterAdvances) {
   EXPECT_EQ(opt.steps_taken(), 2u);
 }
 
+TEST(Softmax, RowIntoMatchesBatchSoftmaxBitExactly) {
+  // softmax_row_into is the per-row kernel of the vectorized rollout
+  // collector; it must replicate softmax_rows' op sequence exactly so row
+  // sampling is bit-identical to the batched path.
+  Rng rng(77);
+  Matrix logits = Matrix::randn(5, 4, rng);
+  logits.scale_inplace(30.0);  // large logits stress the max-stabilization
+  const Matrix batch = softmax_rows(logits);
+  std::vector<double> row;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    softmax_row_into(logits, r, row);
+    ASSERT_EQ(row.size(), logits.cols());
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      EXPECT_EQ(row[c], batch(r, c)) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Softmax, RowIntoRejectsOutOfRangeRow) {
+  const Matrix logits(2, 3, 0.0);
+  std::vector<double> row;
+  EXPECT_THROW(softmax_row_into(logits, 2, row), std::out_of_range);
+}
+
+TEST(Dense, ConstParameterViewsAliasTheWeights) {
+  Rng rng(5);
+  Dense layer(2, 3, rng, "d");
+  const Dense& view = layer;
+  const auto params = view.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "d.W");
+  EXPECT_EQ(params[1].name, "d.b");
+  // Same storage as the mutable views — a const export serializes the live
+  // weights, not a copy.
+  auto mutable_params = layer.parameters();
+  EXPECT_EQ(params[0].value, mutable_params[0].value);
+  EXPECT_EQ(params[1].value, mutable_params[1].value);
+}
+
 }  // namespace
 }  // namespace ecthub::nn

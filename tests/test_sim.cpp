@@ -5,6 +5,7 @@
 // the aggregate report arithmetic.
 #include "policy/drl_policy.hpp"
 #include "sim/coupling.hpp"
+#include "sim/drl_zoo.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/metro.hpp"
 #include "sim/report.hpp"
@@ -730,6 +731,67 @@ TEST(AggregateReport, TablesRenderOneRowPerGroupPlusTotal) {
   EXPECT_EQ(report.scheduler_table().num_rows(), 2u);  // 1 scheduler + TOTAL
   EXPECT_EQ(per_hub_table(results).num_rows(), 2u);
   EXPECT_FALSE(report.scenario_table().str().empty());
+}
+
+// ---------------------------------------------------------------- actor zoo
+
+ZooTrainConfig tiny_zoo_cfg() {
+  ZooTrainConfig cfg;
+  cfg.episode_days = 1;
+  cfg.iterations = 1;
+  cfg.train_hubs = 1;
+  cfg.ppo.episodes_per_iteration = 1;
+  return cfg;
+}
+
+TEST(DrlZoo, TrainsSpecialistPerKeyPlusGeneralist) {
+  const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
+  const ActorZoo zoo =
+      train_actor_zoo(registry, {"urban", "rural"}, tiny_zoo_cfg());
+  EXPECT_EQ(zoo.keys, (std::vector<std::string>{"rural", "urban"}));  // sorted
+  ASSERT_EQ(zoo.specialists.size(), 2u);
+  EXPECT_FALSE(zoo.specialists.at("urban").blob.empty());
+  EXPECT_FALSE(zoo.specialists.at("rural").blob.empty());
+  EXPECT_FALSE(zoo.generalist.blob.empty());
+  // Different training fleets and seed streams: the actors must differ.
+  EXPECT_NE(zoo.specialists.at("urban").blob, zoo.specialists.at("rural").blob);
+  EXPECT_NE(zoo.generalist.blob, zoo.specialists.at("urban").blob);
+  // Every checkpoint deploys through the Policy API.
+  policy::DrlPolicy deployed(zoo.generalist);
+  EXPECT_LT(deployed.decide(std::vector<double>(
+                zoo.generalist.config.state_dim, 0.1)),
+            3u);
+}
+
+TEST(DrlZoo, DeterministicAcrossRunsAndCollectorThreads) {
+  const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
+  ZooTrainConfig cfg = tiny_zoo_cfg();
+  const ActorZoo a = train_actor_zoo(registry, {"urban"}, cfg);
+  cfg.collector_threads = 4;
+  const ActorZoo b = train_actor_zoo(registry, {"urban"}, cfg);
+  EXPECT_EQ(a.specialists.at("urban").blob, b.specialists.at("urban").blob);
+  EXPECT_EQ(a.generalist.blob, b.generalist.blob);
+}
+
+TEST(DrlZoo, ValidatesInputs) {
+  const ScenarioRegistry registry = ScenarioRegistry::with_builtins();
+  ZooTrainConfig cfg = tiny_zoo_cfg();
+  EXPECT_THROW((void)train_actor_zoo(registry, {"nope"}, cfg), std::out_of_range);
+  cfg.train_hubs = 0;
+  EXPECT_THROW((void)train_actor_zoo(registry, {"urban"}, cfg),
+               std::invalid_argument);
+}
+
+TEST(DrlZoo, EmptyKeySelectionCoversWholeRegistry) {
+  // Dedup + default-to-all behaviour, without paying for six trainings: a
+  // two-scenario registry built from the urban/rural presets.
+  const ScenarioRegistry builtins = ScenarioRegistry::with_builtins();
+  ScenarioRegistry registry;
+  registry.add(builtins.at("urban"));
+  registry.add(builtins.at("rural"));
+  const ActorZoo zoo = train_actor_zoo(registry, {}, tiny_zoo_cfg());
+  EXPECT_EQ(zoo.keys, registry.keys());
+  EXPECT_EQ(zoo.specialists.size(), 2u);
 }
 
 }  // namespace
