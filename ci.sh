@@ -6,15 +6,18 @@ set -eu
 PREFIX="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> Job 1: configure + build + ctest (-Werror)"
-cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_BUILD_BENCH=OFF
+echo "==> Job 1: configure + build + ctest (-Werror + extra warning wall)"
+cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_EXTRA_WARNINGS=ON \
+  -DECTHUB_BUILD_BENCH=OFF
 cmake --build "${PREFIX}" -j "${JOBS}"
 ctest --test-dir "${PREFIX}" --output-on-failure --no-tests=error -j "${JOBS}"
 
 # Job 2 flips the bench gate on in the same tree, so the module libraries
-# from job 1 are reused and only the bench binaries compile fresh.
-echo "==> Job 2: bench compile-only (-Werror)"
-cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_BUILD_BENCH=ON
+# from job 1 are reused and only the bench binaries compile fresh (under the
+# same -Werror + extra-warnings wall).
+echo "==> Job 2: bench compile-only (-Werror + extra warning wall)"
+cmake -B "${PREFIX}" -S . -DECTHUB_WERROR=ON -DECTHUB_EXTRA_WARNINGS=ON \
+  -DECTHUB_BUILD_BENCH=ON
 cmake --build "${PREFIX}" -j "${JOBS}"
 
 # Job 3 runs the tier-1 suite under ASan + UBSan in a separate tree: the
@@ -45,5 +48,31 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
   -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|city_sweep_drl|city_sweep_metro' \
   --output-on-failure --no-tests=error -j "${JOBS}"
+
+# Job 5 is the static-analysis gate:
+#  (a) ecthub_lint — the in-repo invariant linter (determinism / hot-path
+#      allocation hygiene / header hygiene) over src/, failing on any finding
+#      not excused by tools/lint_allowlist.txt, and failing on allowlist
+#      entries that no longer match real source lines (stale entries);
+#  (b) header self-containment — every src/**/*.hpp compiled standalone
+#      (twice, for guard idempotency) via the generated-TU object target;
+#  (c) GCC -fanalyzer compile-only over the leaf modules (common, nn,
+#      battery, weather).  GCC 12's analyzer does not model std::allocator,
+#      so three libstdc++-internal false-positive classes are suppressed with
+#      justification (see tools/lint_allowlist.txt header and README "Static
+#      analysis"); every other -Wanalyzer-* check is a hard error.
+echo "==> Job 5: invariant lint + header self-containment + GCC analyzer"
+cmake --build "${PREFIX}" -j "${JOBS}" --target ecthub_lint ecthub_header_check
+"${PREFIX}/tools/ecthub_lint" --allowlist tools/lint_allowlist.txt \
+  --check-allowlist src
+
+for f in src/common/*.cpp src/nn/*.cpp src/battery/*.cpp src/weather/*.cpp; do
+  g++ -std=c++20 -Isrc -O1 -c "$f" -o /dev/null \
+    -fanalyzer -Werror \
+    -Wno-analyzer-use-of-uninitialized-value \
+    -Wno-analyzer-null-dereference \
+    -Wno-analyzer-possible-null-dereference
+done
+echo "    analyzer pass clean over common/nn/battery/weather"
 
 echo "==> CI green"

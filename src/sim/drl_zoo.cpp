@@ -47,7 +47,7 @@ ActorZoo train_actor_zoo(const ScenarioRegistry& registry, std::vector<std::stri
   if (keys.empty()) keys = registry.keys();
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  for (const std::string& key : keys) registry.at(key);  // fail fast on unknowns
+  for (const std::string& key : keys) (void)registry.at(key);  // fail fast on unknowns
 
   ActorZoo zoo;
   zoo.keys = keys;

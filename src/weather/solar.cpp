@@ -39,8 +39,8 @@ std::vector<double> SolarModel::generate(const TimeGrid& grid) {
   return ghi;
 }
 
-void SolarModel::generate_into(const TimeGrid& grid, std::vector<double>& ghi) {
-  ghi.resize(grid.size());
+void SolarModel::generate_into(const TimeGrid& grid, std::vector<double>& out_ghi) {
+  out_ghi.resize(grid.size());
   bool cloudy = rng_.bernoulli(0.5);
   for (std::size_t t = 0; t < grid.size(); ++t) {
     if (rng_.bernoulli(cfg_.cloud_switch_prob)) cloudy = !cloudy;
@@ -54,7 +54,7 @@ void SolarModel::generate_into(const TimeGrid& grid, std::vector<double>& ghi) {
       // Even "clear" slots see small high-cirrus variation.
       trans = std::clamp(1.0 - std::abs(rng_.normal(0.0, 0.03)), 0.8, 1.0);
     }
-    ghi[t] = clear * trans;
+    out_ghi[t] = clear * trans;
   }
 }
 

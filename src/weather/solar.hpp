@@ -48,7 +48,7 @@ class SolarModel {
   /// reusing its capacity.  Draws the identical stochastic stream as
   /// generate() — EctHubEnv regenerates episodes through this overload
   /// without touching the heap.
-  void generate_into(const TimeGrid& grid, std::vector<double>& ghi_wm2);
+  void generate_into(const TimeGrid& grid, std::vector<double>& out_ghi_wm2);
 
   [[nodiscard]] const SolarConfig& config() const noexcept { return cfg_; }
 

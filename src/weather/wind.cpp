@@ -21,8 +21,8 @@ std::vector<double> WindModel::generate(const TimeGrid& grid) {
   return speed;
 }
 
-void WindModel::generate_into(const TimeGrid& grid, std::vector<double>& speed) {
-  speed.resize(grid.size());
+void WindModel::generate_into(const TimeGrid& grid, std::vector<double>& out_speed) {
+  out_speed.resize(grid.size());
   double x = cfg_.mean_speed_ms;  // OU state
   for (std::size_t t = 0; t < grid.size(); ++t) {
     const double diurnal =
@@ -31,7 +31,7 @@ void WindModel::generate_into(const TimeGrid& grid, std::vector<double>& speed) 
     x += cfg_.reversion_rate * (cfg_.mean_speed_ms - x) +
          rng_.normal(0.0, cfg_.volatility);
     x = std::clamp(x, 0.0, cfg_.max_speed_ms);
-    speed[t] = std::clamp(x * diurnal, 0.0, cfg_.max_speed_ms);
+    out_speed[t] = std::clamp(x * diurnal, 0.0, cfg_.max_speed_ms);
   }
 }
 

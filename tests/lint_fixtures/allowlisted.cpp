@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): one genuine violation that
+// fixture_allowlist.txt excuses — proves suppression plus the used-entry
+// bookkeeping that feeds stale detection.
+int call_count() {
+  static int calls = 0;
+  return ++calls;
+}

@@ -1,0 +1,28 @@
+// Lint fixture (never compiled): a clean header in the repo's house style —
+// doc comment first, then the guard, self-contained includes, no
+// using-namespace at namespace scope.  Expected findings: zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+/// Rolling mean over a fixed window; the kind of small header-only helper
+/// the real tree keeps in common/.
+class Meter {
+ public:
+  explicit Meter(std::size_t window) : window_(window) {}
+
+  void add(double v) {
+    if (values_.size() < window_) values_.push_back(v);
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+ private:
+  std::size_t window_;
+  std::vector<double> values_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,71 @@
+// Lint fixture (never compiled): a clean module mirroring the repo's real
+// idioms.  Every construct here is sanctioned; the linter must report zero
+// findings — this file is the false-positive regression net.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<double> trunk;
+  std::vector<double> probs;
+};
+
+// splitmix64-style finalizer: the repo's deterministic stream-seeding
+// primitive (common/rng.hpp mix_seed).
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+// mix_seed-derived RNG construction — the sanctioned seeding idiom
+// (per-hub / per-lane streams are pure functions of the config seed).
+inline Rng lane_rng(std::uint64_t seed, std::uint64_t lane) {
+  return Rng(mix_seed(seed, lane));
+}
+
+// `encode_time(...)` must not trip the wall-clock rule: `time(` only matches
+// as a whole word.
+inline std::size_t encode_time(std::size_t hour) { return hour % 24; }
+
+inline std::size_t time_id_of(std::size_t hour) { return encode_time(hour); }
+
+// Warm-up growth of caller-owned workspace and output buffers inside a
+// hot-path body — the `*_into` contract's sanctioned idiom (a steady-state
+// resize to the same size is a no-op).
+inline void forward_rows_into(const std::vector<double>& x, Workspace& ws,
+                              std::vector<double>& out) {
+  ws.trunk.resize(x.size());
+  ws.probs.reserve(x.size());
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + ws.trunk[i];
+}
+
+// Cold-path allocation is unrestricted.
+inline std::vector<double> build_table(std::size_t n) {
+  std::vector<double> table;
+  table.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) table.push_back(static_cast<double>(i));
+  return table;
+}
+
+// Cold-path std::string formatting is unrestricted.
+inline std::string label_of(std::size_t hub) {
+  return "hub-" + std::to_string(hub);
+}
+
+// Immutable function-local lookup tables are legal (const static duration).
+inline int kind_count() {
+  static const int kinds[4] = {0, 1, 2, 3};
+  return kinds[3];
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): forbidden entropy sources.
+// Expected: determinism/rand x2, determinism/random-device x1.
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::srand(42);
+  int a = std::rand();
+  std::random_device rd;
+  return a + static_cast<int>(rd());
+}

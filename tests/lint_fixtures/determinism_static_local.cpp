@@ -1,0 +1,21 @@
+// Lint fixture (never compiled): mutable static-duration function-locals —
+// the exact shape of the PR 5 checkpoint-load bug (a static thread_local
+// scratch RNG made results history-dependent).
+// Expected: determinism/static-local x2 (the `static const` table is legal).
+#include <cstdint>
+
+int call_counter() {
+  static int calls = 0;
+  return ++calls;
+}
+
+double scratch_rng(std::uint64_t seed) {
+  static thread_local std::uint64_t state = seed;
+  state ^= state << 13;
+  return static_cast<double>(state);
+}
+
+int lookup(int i) {
+  static const int kinds[4] = {1, 2, 3, 4};
+  return kinds[i & 3];
+}

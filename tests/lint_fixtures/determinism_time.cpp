@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): wall clocks and environment lookups.
+// Expected: determinism/wall-clock x2, determinism/getenv x1.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long long stamps() {
+  const std::time_t wall = std::time(nullptr);
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch().count();
+  const char* home = std::getenv("HOME");
+  return static_cast<long long>(wall) + tick + (home != nullptr ? 1 : 0);
+}

@@ -1,0 +1,7 @@
+// Lint fixture (never compiled): header without #pragma once or an include
+// guard.  Expected: header/missing-guard x1.
+namespace fixture {
+
+inline int identity(int x) { return x; }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): using-namespace at namespace scope in a
+// header.  Expected: header/using-namespace x1 — the function-local using
+// directive further down is legal and must stay silent.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+using namespace std;
+
+inline int total(const vector<int>& v) { return static_cast<int>(v.size()); }
+
+inline int scoped() {
+  using namespace std;
+  return 0;
+}
+
+}  // namespace fixture

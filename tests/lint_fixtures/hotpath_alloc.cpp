@@ -1,0 +1,32 @@
+// Lint fixture (never compiled): allocation inside hot-path bodies.
+// Expected: hotpath/container-growth x3, hotpath/new x1,
+// hotpath/make-owning x1, hotpath/string-construction x1.
+// The cold_path function at the bottom must stay silent.
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Sink {
+  std::vector<double> rows;
+};
+
+void gather_into(const std::vector<double>& src, Sink& sink) {
+  for (double v : src) sink.rows.push_back(v);
+  double* raw = new double[src.size()];
+  delete[] raw;
+  auto owned = std::make_unique<Sink>();
+  (void)owned;
+  std::string label("hot");
+  (void)label;
+  sink.rows.reserve(src.size() * 2);
+}
+
+void decide_rows(std::vector<int>& plan) {
+  plan.resize(9);
+}
+
+void cold_path(Sink& sink) {
+  sink.rows.push_back(1.0);
+  std::string name("cold");
+  (void)name;
+}

@@ -1,0 +1,102 @@
+// ecthub_lint CLI: scan source trees for repo-invariant violations.
+//
+//   ecthub_lint [--allowlist FILE] [--check-allowlist] PATH...
+//
+// Exit status: 0 clean, 1 findings (or stale allowlist entries under
+// --check-allowlist), 2 usage or I/O error.  Output is one line per finding,
+// `file:line: [rule] message`, grep- and editor-friendly.
+#include "lint.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ecthub_lint [--allowlist FILE] [--check-allowlist] PATH...\n"
+               "  --allowlist FILE   suppress findings matching FILE's entries\n"
+               "                     (`path | needle | justification` per line)\n"
+               "  --check-allowlist  additionally fail if any allowlist entry no\n"
+               "                     longer matches a real source line (stale)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  bool check_allowlist = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--check-allowlist") {
+      check_allowlist = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "ecthub_lint: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+
+  ecthub::lint::Allowlist allow;
+  if (!allowlist_path.empty()) {
+    std::string error;
+    if (!ecthub::lint::Allowlist::load(allowlist_path, allow, error)) {
+      std::fprintf(stderr, "ecthub_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t total = 0;
+  std::size_t suppressed = 0;
+  std::size_t stale = 0;
+  try {
+    for (const std::string& root : roots) {
+      std::vector<ecthub::lint::Finding> findings = ecthub::lint::lint_tree(root);
+      const std::size_t before = findings.size();
+      findings = ecthub::lint::apply_allowlist(std::move(findings), allow);
+      suppressed += before - findings.size();
+      for (const ecthub::lint::Finding& f : findings) {
+        std::printf("%s:%zu: [%s] %s\n      > %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str(), f.excerpt.c_str());
+      }
+      total += findings.size();
+      if (check_allowlist) {
+        for (const ecthub::lint::AllowEntry& e :
+             ecthub::lint::stale_entries(allow, root)) {
+          std::printf("%s (allowlist line %zu): stale entry — needle `%s` matches no "
+                      "source line; delete or update it\n",
+                      e.file.c_str(), e.ordinal, e.needle.c_str());
+          ++stale;
+        }
+      }
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "ecthub_lint: %s\n", ex.what());
+    return 2;
+  }
+
+  std::printf("ecthub_lint: %zu finding(s), %zu suppressed by allowlist%s\n", total,
+              suppressed,
+              check_allowlist ? (", " + std::to_string(stale) + " stale allowlist entr" +
+                                 (stale == 1 ? "y" : "ies"))
+                                    .c_str()
+                              : "");
+  return (total > 0 || stale > 0) ? 1 : 0;
+}
