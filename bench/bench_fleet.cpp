@@ -53,12 +53,16 @@
 #include "rl/vec_collector.hpp"
 #include "sim/fleet_runner.hpp"
 #include "sim/metro.hpp"
+#include "sim/report.hpp"
 #include "sim/scenario.hpp"
+#include "sim/shard_driver.hpp"
+#include "sim/shard_io.hpp"
 #include "spatial/metro.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -438,6 +442,60 @@ int main(int argc, char** argv) {
     std::cout << "(env stepping dominates the slot and shards across the crew, so "
                  "speedup > 1.5 at 8 lanes needs real cores — see hardware core "
                  "count above)\n";
+  }
+
+  // --- Part 7: process sharding — forked "fleet of fleets" vs one process --
+  // The part-1 fleet again, split 1/2/4/8 ways across forked worker
+  // processes (one shard file per child, each worker single-threaded so the
+  // speedup column shows pure process-level scaling), then merged from the
+  // shard files.  The merged report must be BYTE-identical in serialized
+  // form to the single-process report, and every per-hub result field-
+  // identical — the whole-sweep determinism contract the shard layer rides
+  // on.  Runs before the metro part so a --hubs 1 invocation reaches it.
+  {
+    std::cout << "\n=== Process sharding: forked workers + shard-file merge vs "
+                 "single process ===\n";
+    const sim::AggregateReport whole_report(reference);
+    const std::string whole_bytes = sim::serialize_report(whole_report);
+    sim::FleetRunnerConfig shard_cfg;
+    shard_cfg.base_seed = base_seed;
+    shard_cfg.threads = 1;
+    shard_cfg.episodes_per_hub = episodes;
+    const sim::ShardDriver driver(shard_cfg);
+    TextTable shard_table(
+        {"shards", "wall ms", "hubs/s", "speedup", "bit-identical"});
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "bench_fleet_shards.XXXXXX")
+              .string();
+      if (::mkdtemp(tmpl.data()) == nullptr) {
+        std::cerr << "bench_fleet: cannot create a shard directory\n";
+        return 1;
+      }
+      const std::filesystem::path dir(tmpl);
+      const auto start = std::chrono::steady_clock::now();
+      const sim::ShardMerge merged = driver.run_forked(jobs, shards, dir);
+      const double ms = now_ms_since(start);
+      const bool identical =
+          results_identical(merged.results, reference) &&
+          sim::serialize_report(merged.report) == whole_bytes;
+      shard_table.begin_row()
+          .add_int(static_cast<long long>(shards))
+          .add_double(ms, 1)
+          .add_double(static_cast<double>(hubs) * 1000.0 / ms, 1)
+          .add_double(serial_ms / ms, 2)
+          .add(identical ? "yes" : "NO");
+      std::filesystem::remove_all(dir);
+      if (!identical) {
+        std::cerr << "SHARD IDENTITY VIOLATION at " << shards << " shards\n";
+        shard_table.print(std::cout);
+        return 1;
+      }
+    }
+    shard_table.print(std::cout);
+    std::cout << "(merged AggregateReport compared byte-for-byte in serialized "
+                 "form against the single-process run)\n";
   }
 
   // --- Part 5: metro coupling — coupled vs uncoupled throughput/spillover --

@@ -36,17 +36,19 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
 # the coupled-metro identity harness — LockstepDeterminism.* and
 # CouplingBus.* match the filter below), the vectorized rollout collector's
 # bit-identity suite (VecCollector*, whose crew shards env stepping and
-# row-block act_rows GEMMs across threads) plus the DRL and metro smokes, so
-# every push exercises the lockstep barriers, the concurrent row-block
-# decide_rows/act_rows paths and the slot-barrier CouplingBus exchange under
-# TSan as well as ASan (the ASan job above runs the full suite including the
-# smokes).
+# row-block act_rows GEMMs across threads), the process-sharding suite
+# (Shard*, whose driver forks worker processes that spawn their own thread
+# pools, plus the ExactSum register the merged reports ride on) and the
+# DRL/metro/sharding smokes, so every push exercises the lockstep barriers,
+# the concurrent row-block decide_rows/act_rows paths, the slot-barrier
+# CouplingBus exchange and the fork/merge shard path under TSan as well as
+# ASan (the ASan job above runs the full suite including the smokes).
 echo "==> Job 4: TSan lockstep (test_sim + collector + DRL/metro smokes)"
 cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
-  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|city_sweep_drl|city_sweep_metro' \
+  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|Shard|ExactSum|city_sweep_drl|city_sweep_metro|city_sweep_shard' \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 # Job 5 is the static-analysis gate:

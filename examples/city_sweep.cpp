@@ -23,6 +23,9 @@
 //   $ ./city_sweep --scheduler drl --drl-hubs 8 --drl-threads 4
 //   $ ./city_sweep --drl-zoo --drl-hubs 2           # specialist vs generalist
 //   $ ./city_sweep --metro 16 --scheduler all       # coupled metro fleet
+//   $ ./city_sweep --shard 0/4 --shard-out s0.ecsh  # worker: run shard 0 of 4
+//   $ ./city_sweep --merge-shards 's*.ecsh'         # merge shard files
+//   $ ./city_sweep --shard-fork 4 --shard-verify    # fork 4 workers + check
 //   $ ./city_sweep --list                           # show the registry
 //
 // --drl-hubs N trains on N lockstep replica lanes of the training hub (the
@@ -42,6 +45,17 @@
 // across the worker crew as row-block GEMMs, or as the single coordinator
 // GEMM — also bit-identical, so the flag is purely a performance choice.
 //
+// Sharded sweeps ("fleet of fleets"): --shard i/n runs only the contiguous
+// job range shard i of n owns — with the hubs' *global* ids and seeds, so
+// shard membership cannot change any trajectory — and writes one shard file
+// (--shard-out).  --merge-shards <glob> folds shard files back into the
+// aggregate tables; --shard-fork N does both in one invocation through N
+// forked worker processes.  The merged report is byte-identical in
+// serialized form to the single-process run of the same seed
+// (--shard-verify pins it on the spot; exits non-zero on violation).
+// Sharding needs a single --scheduler (not 'all') and an uncoupled fleet
+// (no --metro): the CouplingBus exchange spans the whole fleet every slot.
+//
 // --metro N replaces the i.i.d. hub bag with a spatially generated metro of
 // N hubs (MetroMap seeded from --base-seed): sites derive from base-station
 // density on a synthetic road network, demand spills between road-graph
@@ -56,12 +70,18 @@
 #include "sim/metro.hpp"
 #include "sim/report.hpp"
 #include "sim/scenario.hpp"
+#include "sim/shard.hpp"
+#include "sim/shard_driver.hpp"
+#include "sim/shard_io.hpp"
 #include "spatial/metro.hpp"
+
+#include <glob.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -123,6 +143,49 @@ std::shared_ptr<const ecthub::policy::DrlCheckpoint> obtain_drl_checkpoint(
     }
   }
   return ckpt;
+}
+
+// Parses "i/n" (e.g. "0/4") into shard coordinates; exits on nonsense.
+std::pair<std::size_t, std::size_t> parse_shard_spec(const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  std::size_t index = 0, count = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(spec);
+    index = static_cast<std::size_t>(std::stoull(spec.substr(0, slash)));
+    count = static_cast<std::size_t>(std::stoull(spec.substr(slash + 1)));
+  } catch (const std::exception&) {
+    std::cerr << "city_sweep: --shard expects i/n (e.g. 0/4), got '" << spec << "'\n";
+    std::exit(1);
+  }
+  if (count == 0 || index >= count) {
+    std::cerr << "city_sweep: --shard " << spec << " is out of range\n";
+    std::exit(1);
+  }
+  return {index, count};
+}
+
+std::vector<std::filesystem::path> expand_glob(const std::string& pattern) {
+  ::glob_t matches{};
+  const int rc = ::glob(pattern.c_str(), 0, nullptr, &matches);
+  std::vector<std::filesystem::path> paths;
+  if (rc == 0) {
+    paths.assign(matches.gl_pathv, matches.gl_pathv + matches.gl_pathc);
+  }
+  ::globfree(&matches);
+  if (rc != 0 && rc != GLOB_NOMATCH) {
+    std::cerr << "city_sweep: glob('" << pattern << "') failed\n";
+    std::exit(1);
+  }
+  return paths;
+}
+
+void print_fleet_report(const std::vector<ecthub::sim::HubRunResult>& results,
+                        const ecthub::sim::AggregateReport& report) {
+  ecthub::sim::per_hub_table(results).print(std::cout);
+  std::cout << "\n--- Aggregate by scenario ---\n";
+  report.scenario_table().print(std::cout);
+  std::cout << "\n--- Aggregate by scheduler ---\n";
+  report.scheduler_table().print(std::cout);
 }
 
 }  // namespace
@@ -193,6 +256,28 @@ int main(int argc, char** argv) {
   if (scenario_keys.empty()) {
     std::cerr << "city_sweep: --scenarios selected no scenarios\n";
     return 1;
+  }
+
+  // Merge pre-existing shard files (possibly produced on other machines):
+  // pure aggregation, no simulation runs here.
+  if (flags.has("merge-shards")) {
+    const std::string pattern = flags.get_string("merge-shards", "");
+    const std::vector<std::filesystem::path> paths = expand_glob(pattern);
+    if (paths.empty()) {
+      std::cerr << "city_sweep: --merge-shards '" << pattern
+                << "' matched no shard files\n";
+      return 1;
+    }
+    try {
+      const sim::ShardMerge merged = sim::ShardDriver::merge_shard_files(paths);
+      std::cout << "=== Merged " << paths.size() << " shard file(s): "
+                << merged.results.size() << " hubs ===\n\n";
+      print_fleet_report(merged.results, merged.report);
+    } catch (const std::exception& e) {
+      std::cerr << "city_sweep: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
   }
 
   if (flags.get_bool("drl-zoo")) {
@@ -282,6 +367,83 @@ int main(int argc, char** argv) {
   runner_cfg.lockstep_gemm = lockstep_gemm;
   runner_cfg.episodes_per_hub = episodes;
   const sim::FleetRunner runner(runner_cfg);
+
+  // ---- sharded execution ("fleet of fleets") ------------------------------
+  const bool shard_run = flags.has("shard");
+  const bool shard_fork = flags.has("shard-fork");
+  if (shard_run || shard_fork) {
+    if (metro_mode) {
+      std::cerr << "city_sweep: --shard/--shard-fork cannot split a coupled metro "
+                   "fleet (the CouplingBus exchange spans every hub each slot)\n";
+      return 1;
+    }
+    if (kinds.size() != 1) {
+      std::cerr << "city_sweep: --shard/--shard-fork need a single --scheduler, "
+                   "not 'all'\n";
+      return 1;
+    }
+    const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(
+        registry, expanded, expanded.size(), days, kinds.front(), checkpoint);
+    const sim::ShardDriver driver(runner_cfg);
+    try {
+      if (shard_run) {
+        const auto [shard_index, shard_count] =
+            parse_shard_spec(flags.get_string("shard", ""));
+        const std::string out_path = flags.get_string("shard-out", "");
+        if (out_path.empty()) {
+          std::cerr << "city_sweep: --shard requires --shard-out <path>\n";
+          return 1;
+        }
+        const sim::ShardData shard = driver.run_shard(jobs, shard_index, shard_count);
+        sim::save_shard(out_path, shard);
+        std::cout << "shard " << shard_index << "/" << shard_count << ": hubs ["
+                  << shard.plan.begin << ", " << shard.plan.end << ") of "
+                  << shard.plan.job_count << " -> " << out_path << "\n";
+        return 0;
+      }
+      // --shard-fork N: the whole sweep through N forked workers, one shard
+      // file per child under --shard-dir (a fresh temp directory without it).
+      const std::size_t shard_count = require_positive("shard-fork", 2);
+      std::filesystem::path dir = flags.get_string("shard-dir", "");
+      if (dir.empty()) {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() / "city_sweep_shards.XXXXXX")
+                .string();
+        if (::mkdtemp(tmpl.data()) == nullptr) {
+          std::cerr << "city_sweep: cannot create a shard directory\n";
+          return 1;
+        }
+        dir = tmpl;
+      } else {
+        std::filesystem::create_directories(dir);
+      }
+      std::cout << "=== City sweep: " << jobs.size() << " hubs sharded "
+                << shard_count << "-way across forked workers (shard files in "
+                << dir.string() << ") ===\n\n";
+      const sim::ShardMerge merged = driver.run_forked(jobs, shard_count, dir);
+      print_fleet_report(merged.results, merged.report);
+      if (flags.get_bool("shard-verify")) {
+        // The guarantee, checked on the spot: the merged report (and every
+        // per-hub result) is bit-identical to the single-process run.
+        const std::vector<sim::HubRunResult> baseline = runner.run(jobs);
+        const sim::AggregateReport baseline_report(baseline);
+        if (merged.results != baseline ||
+            sim::serialize_report(merged.report) !=
+                sim::serialize_report(baseline_report)) {
+          std::cerr << "city_sweep: SHARD IDENTITY VIOLATION — merged report "
+                       "differs from the single-process run\n";
+          return 1;
+        }
+        std::cout << "\nshard-verify: " << shard_count
+                  << "-way merged report byte-identical to the single-process "
+                     "run\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "city_sweep: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
 
   const std::size_t fleet_size = metro ? metro->hubs().size() : expanded.size();
   std::cout << "=== City sweep: " << fleet_size << " hubs, " << scenario_keys.size()

@@ -1,0 +1,138 @@
+#include "common/exact_sum.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecthub {
+
+namespace {
+
+constexpr std::uint64_t kFracMask = (std::uint64_t{1} << 52) - 1;
+constexpr std::uint64_t kImplicitBit = std::uint64_t{1} << 52;
+
+}  // namespace
+
+void ExactSum::add(double v) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument("ExactSum::add: non-finite addend");
+  }
+  if (v == 0.0) return;  // ±0 contributes nothing to the register
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const bool negative = (bits >> 63) != 0;
+  const unsigned biased_exp = static_cast<unsigned>((bits >> 52) & 0x7ffu);
+  std::uint64_t mantissa = bits & kFracMask;
+  // Subnormal: v = frac * 2^-1074, so the mantissa lands at bit 0.  Normal:
+  // v = (2^52 + frac) * 2^(e-1075) = mantissa * 2^(e-1) in 2^-1074 units.
+  unsigned shift = 0;
+  if (biased_exp != 0) {
+    mantissa |= kImplicitBit;
+    shift = biased_exp - 1;
+  }
+  if (negative) {
+    sub_magnitude(mantissa, shift);
+  } else {
+    add_magnitude(mantissa, shift);
+  }
+}
+
+void ExactSum::add_magnitude(std::uint64_t mantissa, unsigned shift) noexcept {
+  const std::size_t base = shift / 64;
+  const unsigned bit = shift % 64;
+  // The mantissa straddles at most two limbs; after those, only a 0/1 carry
+  // ripples.  `carry` never overflows: it is at most (53-bit value) + 1.
+  std::uint64_t carry = mantissa << bit;
+  std::uint64_t carry_hi = bit == 0 ? 0 : mantissa >> (64 - bit);
+  for (std::size_t i = base; i < kLimbs; ++i) {
+    const std::uint64_t addend = carry;
+    carry = carry_hi;
+    carry_hi = 0;
+    if (addend == 0 && carry == 0) break;
+    const std::uint64_t old = limbs_[i];
+    limbs_[i] = old + addend;
+    if (limbs_[i] < old) carry += 1;
+  }
+}
+
+void ExactSum::sub_magnitude(std::uint64_t mantissa, unsigned shift) noexcept {
+  const std::size_t base = shift / 64;
+  const unsigned bit = shift % 64;
+  std::uint64_t borrow = mantissa << bit;
+  std::uint64_t borrow_hi = bit == 0 ? 0 : mantissa >> (64 - bit);
+  for (std::size_t i = base; i < kLimbs; ++i) {
+    const std::uint64_t sub = borrow;
+    borrow = borrow_hi;
+    borrow_hi = 0;
+    if (sub == 0 && borrow == 0) break;
+    const std::uint64_t old = limbs_[i];
+    limbs_[i] = old - sub;
+    if (old < sub) borrow += 1;
+  }
+  // A borrow running off the top limb is the intended two's-complement wrap:
+  // transiently negative sums stay exact and cancel back on later adds.
+}
+
+void ExactSum::add(const ExactSum& other) noexcept {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const std::uint64_t a = limbs_[i];
+    const std::uint64_t ab = a + other.limbs_[i];
+    const std::uint64_t c1 = ab < a ? 1u : 0u;
+    limbs_[i] = ab + carry;
+    const std::uint64_t c2 = limbs_[i] < ab ? 1u : 0u;
+    carry = c1 | c2;  // at most one of the two sub-adds can wrap
+  }
+}
+
+double ExactSum::value() const noexcept {
+  const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+  Limbs mag = limbs_;
+  if (negative) {  // two's-complement negation: invert + 1
+    std::uint64_t carry = 1;
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      mag[i] = ~mag[i] + carry;
+      carry = (carry != 0 && mag[i] == 0) ? 1u : 0u;
+    }
+  }
+  int top = -1;  // index of the highest set magnitude bit
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (mag[i] != 0) {
+      top = static_cast<int>(i) * 64 + (63 - std::countl_zero(mag[i]));
+      break;
+    }
+  }
+  if (top < 0) return 0.0;
+  if (top <= 52) {
+    // The whole magnitude fits a 53-bit significand: exact, no rounding.
+    const double m = static_cast<double>(mag[0]);
+    return std::ldexp(negative ? -m : m, -1074);
+  }
+  // Round to nearest, ties to even: keep bits [top-52, top], inspect the
+  // guard bit below them and OR the rest into a sticky bit.
+  const auto bit_at = [&mag](int idx) -> std::uint64_t {
+    return (mag[static_cast<std::size_t>(idx) / 64] >> (static_cast<unsigned>(idx) % 64)) &
+           1u;
+  };
+  std::uint64_t kept = 0;
+  for (int j = 0; j < 53; ++j) kept |= bit_at(top - 52 + j) << j;
+  const int guard_idx = top - 53;
+  const std::size_t g_limb = static_cast<std::size_t>(guard_idx) / 64;
+  const unsigned g_bit = static_cast<unsigned>(guard_idx) % 64;
+  bool sticky = false;
+  for (std::size_t i = 0; i < g_limb && !sticky; ++i) sticky = mag[i] != 0;
+  if (!sticky && g_bit != 0) {
+    sticky = (mag[g_limb] & ((std::uint64_t{1} << g_bit) - 1)) != 0;
+  }
+  int exp = top - 52 - 1074;
+  if (bit_at(guard_idx) != 0 && (sticky || (kept & 1u) != 0)) {
+    ++kept;
+    if (kept == (std::uint64_t{1} << 53)) {  // rounded up to the next binade
+      kept >>= 1;
+      ++exp;
+    }
+  }
+  const double m = static_cast<double>(kept);
+  return std::ldexp(negative ? -m : m, exp);  // overflows to ±inf past the range
+}
+
+}  // namespace ecthub

@@ -224,7 +224,9 @@ std::vector<HubRunResult> FleetRunner::run(const std::vector<FleetJob>& jobs) co
   threads = std::min(threads, jobs.size());
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i], i, cfg_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_job(jobs[i], cfg_.hub_id_offset + i, cfg_);
+    }
     return results;
   }
 
@@ -238,7 +240,7 @@ std::vector<HubRunResult> FleetRunner::run(const std::vector<FleetJob>& jobs) co
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       try {
-        results[i] = run_job(jobs[i], i, cfg_);
+        results[i] = run_job(jobs[i], cfg_.hub_id_offset + i, cfg_);
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -322,7 +324,7 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const FleetJob& job = jobs[i];
     Lane& lane = lanes[i];
-    const std::uint64_t hub_seed = mix_seed(cfg_.base_seed, i);
+    const std::uint64_t hub_seed = mix_seed(cfg_.base_seed, cfg_.hub_id_offset + i);
 
     core::HubConfig hub = job.hub;
     hub.seed = hub_seed;
@@ -359,7 +361,7 @@ std::vector<HubRunResult> FleetRunner::run_lockstep(const std::vector<FleetJob>&
     }
 
     lane.dt_hours = TimeGrid(job.env.episode_days, job.env.slots_per_day).slot_hours();
-    lane.result.hub_id = i;
+    lane.result.hub_id = cfg_.hub_id_offset + i;
     lane.result.hub_name = job.hub.name;
     lane.result.scenario = job.scenario;
     lane.result.scheduler = job.scheduler;

@@ -150,6 +150,8 @@ struct SocDigest {
   double mean = 0.0;
   double checksum = 0.0;  ///< plain sum in slot order — drift detector
   std::size_t samples = 0;
+
+  friend bool operator==(const SocDigest&, const SocDigest&) = default;
 };
 
 struct HubRunResult {
@@ -176,6 +178,10 @@ struct HubRunResult {
   double spill_served_kwh = 0.0;    ///< neighbor imports absorbed here
   double spill_dropped_kwh = 0.0;   ///< neighbor imports lost (one-hop bound)
   std::size_t outage_slots = 0;     ///< front outage slots endured
+
+  /// Field-exact equality — the bit-identity currency of the determinism
+  /// tests and the shard save/load round-trip (sim/shard_io).
+  friend bool operator==(const HubRunResult&, const HubRunResult&) = default;
 };
 
 class ScenarioRegistry;  // scenario.hpp
@@ -192,6 +198,11 @@ class ScenarioRegistry;  // scenario.hpp
 
 struct FleetRunnerConfig {
   std::uint64_t base_seed = 7;
+  /// Global hub id of jobs[0].  A sharded sweep (sim/shard) runs the job
+  /// sub-range [begin, end) of the full list with hub_id_offset = begin, so
+  /// every hub keeps the mix_seed(base_seed, global_id) stream — and the
+  /// exact per-hub result bits — it would have had in the unsharded run.
+  std::size_t hub_id_offset = 0;
   /// Worker threads for run(); 0 means std::thread::hardware_concurrency().
   std::size_t threads = 0;
   /// Worker threads for run_lockstep()'s env-stepping phases; 0 means
@@ -211,7 +222,7 @@ class FleetRunner {
   explicit FleetRunner(FleetRunnerConfig cfg);
 
   /// Runs every job, one hub per worker; results[i] corresponds to jobs[i]
-  /// (hub_id == i).  The first exception thrown by any worker is rethrown
+  /// (hub_id == cfg.hub_id_offset + i).  The first exception thrown by any worker is rethrown
   /// after all workers have been joined.  Throws std::invalid_argument on a
   /// coupled job set (see FleetJob::coupled) — only run_lockstep advances
   /// the fleet slot-synchronously, which the exchange requires.

@@ -1,5 +1,7 @@
 #include "sim/report.hpp"
 
+#include <utility>
+
 namespace ecthub::sim {
 
 void GroupStats::absorb(const HubRunResult& r) {
@@ -10,8 +12,26 @@ void GroupStats::absorb(const HubRunResult& r) {
   bp_cost += r.bp_cost;
   profit += r.profit;
   soc_mean_sum += r.soc.mean;
+  through_kwh += r.through_kwh;
   spill_exported_kwh += r.spill_exported_kwh;
   spill_served_kwh += r.spill_served_kwh;
+  spill_dropped_kwh += r.spill_dropped_kwh;
+  outage_slots += r.outage_slots;
+}
+
+void GroupStats::merge(const GroupStats& other) noexcept {
+  hubs += other.hubs;
+  episodes += other.episodes;
+  revenue += other.revenue;
+  grid_cost += other.grid_cost;
+  bp_cost += other.bp_cost;
+  profit += other.profit;
+  soc_mean_sum += other.soc_mean_sum;
+  through_kwh += other.through_kwh;
+  spill_exported_kwh += other.spill_exported_kwh;
+  spill_served_kwh += other.spill_served_kwh;
+  spill_dropped_kwh += other.spill_dropped_kwh;
+  outage_slots += other.outage_slots;
 }
 
 AggregateReport::AggregateReport(const std::vector<HubRunResult>& results) {
@@ -26,39 +46,30 @@ void AggregateReport::add(const HubRunResult& r) {
 
 namespace {
 
-void merge_group(GroupStats& into, const GroupStats& from) {
-  into.hubs += from.hubs;
-  into.episodes += from.episodes;
-  into.revenue += from.revenue;
-  into.grid_cost += from.grid_cost;
-  into.bp_cost += from.bp_cost;
-  into.profit += from.profit;
-  into.soc_mean_sum += from.soc_mean_sum;
-  into.spill_exported_kwh += from.spill_exported_kwh;
-  into.spill_served_kwh += from.spill_served_kwh;
-}
-
 void add_group_row(TextTable& table, const std::string& label, const GroupStats& g) {
   table.begin_row()
       .add(label)
       .add_int(static_cast<long long>(g.hubs))
       .add_int(static_cast<long long>(g.episodes))
-      .add_double(g.revenue, 2)
-      .add_double(g.grid_cost, 2)
-      .add_double(g.bp_cost, 2)
-      .add_double(g.profit, 2)
+      .add_double(g.revenue.value(), 2)
+      .add_double(g.grid_cost.value(), 2)
+      .add_double(g.bp_cost.value(), 2)
+      .add_double(g.profit.value(), 2)
       .add_double(g.profit_per_hub(), 2)
       .add_double(g.mean_soc(), 3)
-      .add_double(g.spill_exported_kwh, 1)
-      .add_double(g.spill_served_kwh, 1);
+      .add_double(g.through_kwh.value(), 1)
+      .add_double(g.spill_exported_kwh.value(), 1)
+      .add_double(g.spill_served_kwh.value(), 1)
+      .add_double(g.spill_dropped_kwh.value(), 1)
+      .add_int(static_cast<long long>(g.outage_slots));
 }
 
 TextTable group_table(const std::string& key_header,
                       const std::map<std::string, GroupStats>& groups,
                       const GroupStats& totals) {
   TextTable table({key_header, "hubs", "episodes", "revenue($)", "grid($)", "wear($)",
-                   "profit($)", "profit/hub($)", "mean SoC", "spill-out(kWh)",
-                   "spill-in(kWh)"});
+                   "profit($)", "profit/hub($)", "mean SoC", "through(kWh)",
+                   "spill-out(kWh)", "spill-in(kWh)", "spill-drop(kWh)", "outages"});
   for (const auto& [key, stats] : groups) add_group_row(table, key, stats);
   add_group_row(table, "TOTAL", totals);
   return table;
@@ -67,11 +78,19 @@ TextTable group_table(const std::string& key_header,
 }  // namespace
 
 void AggregateReport::merge(const AggregateReport& other) {
-  merge_group(totals_, other.totals_);
-  for (const auto& [key, stats] : other.by_scenario_) merge_group(by_scenario_[key], stats);
-  for (const auto& [key, stats] : other.by_scheduler_) {
-    merge_group(by_scheduler_[key], stats);
-  }
+  totals_.merge(other.totals_);
+  for (const auto& [key, stats] : other.by_scenario_) by_scenario_[key].merge(stats);
+  for (const auto& [key, stats] : other.by_scheduler_) by_scheduler_[key].merge(stats);
+}
+
+AggregateReport AggregateReport::from_groups(GroupStats totals,
+                                             std::map<std::string, GroupStats> by_scenario,
+                                             std::map<std::string, GroupStats> by_scheduler) {
+  AggregateReport report;
+  report.totals_ = totals;
+  report.by_scenario_ = std::move(by_scenario);
+  report.by_scheduler_ = std::move(by_scheduler);
+  return report;
 }
 
 TextTable AggregateReport::scenario_table() const {

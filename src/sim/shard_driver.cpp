@@ -1,0 +1,173 @@
+#include "sim/shard_driver.hpp"
+
+#include "sim/shard.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <iterator>
+
+namespace ecthub::sim {
+
+namespace {
+
+/// waitpid with EINTR retry; returns the child's raw status word.
+[[nodiscard]] int await_child(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    if (::waitpid(pid, &status, 0) >= 0) return status;
+    if (errno != EINTR) {
+      throw ShardDriverError(std::string("waitpid failed: ") + std::strerror(errno));
+    }
+  }
+}
+
+[[noreturn]] void child_main(const ShardDriver& driver, const std::vector<FleetJob>& jobs,
+                             std::size_t shard_index, std::size_t shard_count,
+                             const std::filesystem::path& path) {
+  // Worker body.  No stdout writes (the parent owns the report stream) and
+  // no normal exit (destructors/atexit of the forked image must not run
+  // twice): save the shard file and _exit.
+  try {
+    save_shard(path, driver.run_shard(jobs, shard_index, shard_count));
+    ::_exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard %zu/%zu worker: %s\n", shard_index, shard_count,
+                 e.what());
+    ::_exit(1);
+  } catch (...) {
+    std::fprintf(stderr, "shard %zu/%zu worker: unknown exception\n", shard_index,
+                 shard_count);
+    ::_exit(1);
+  }
+}
+
+}  // namespace
+
+ShardData ShardDriver::run_shard(const std::vector<FleetJob>& jobs,
+                                 std::size_t shard_index, std::size_t shard_count) const {
+  ShardData shard;
+  shard.plan = plan_shard(jobs.size(), shard_index, shard_count);
+  const std::vector<FleetJob> sub = shard_fleet_jobs(jobs, shard_index, shard_count);
+  FleetRunnerConfig cfg = cfg_;
+  cfg.hub_id_offset = shard.plan.begin;  // global ids ⇒ global seeds
+  const FleetRunner runner(cfg);
+  const bool coupled = std::any_of(sub.begin(), sub.end(),
+                                   [](const FleetJob& j) { return j.coupled(); });
+  shard.results = coupled ? runner.run_lockstep(sub) : runner.run(sub);
+  shard.report = AggregateReport(shard.results);
+  return shard;
+}
+
+ShardMerge ShardDriver::run_forked(const std::vector<FleetJob>& jobs,
+                                   std::size_t shard_count,
+                                   const std::filesystem::path& dir) const {
+  // Validate shard coordinates and shardability (coupled jobs) before any
+  // fork, so misuse fails with the partitioner's error, not a worker exit.
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    (void)shard_fleet_jobs(jobs, i, shard_count);
+  }
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    paths.push_back(dir / shard_file_name(i, shard_count));
+  }
+  // Flush everything buffered before forking: the children inherit the
+  // stdio buffers, and anything pending would otherwise be written once
+  // per process.
+  std::cout.flush();
+  std::cerr.flush();
+  std::fflush(nullptr);
+
+  std::vector<pid_t> pids;
+  pids.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int fork_errno = errno;
+      for (const pid_t spawned : pids) (void)await_child(spawned);  // no zombies
+      throw ShardDriverError(std::string("fork failed: ") + std::strerror(fork_errno));
+    }
+    if (pid == 0) child_main(*this, jobs, i, shard_count, paths[i]);
+    pids.push_back(pid);
+  }
+
+  std::string failures;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const int status = await_child(pids[i]);
+    std::string failure;
+    if (WIFEXITED(status)) {
+      if (WEXITSTATUS(status) != 0) {
+        failure = "exited with status " + std::to_string(WEXITSTATUS(status));
+      }
+    } else if (WIFSIGNALED(status)) {
+      failure = "killed by signal " + std::to_string(WTERMSIG(status));
+    } else {
+      failure = "ended with unexpected status " + std::to_string(status);
+    }
+    if (!failure.empty()) {
+      if (!failures.empty()) failures += "; ";
+      failures += "shard " + std::to_string(i) + "/" + std::to_string(shard_count) +
+                  " worker " + failure;
+    }
+  }
+  if (!failures.empty()) {
+    throw ShardDriverError("run_forked: " + failures + " (see stderr for details)");
+  }
+  return merge_shard_files(std::move(paths));
+}
+
+ShardMerge ShardDriver::merge_shard_files(std::vector<std::filesystem::path> paths) {
+  if (paths.empty()) {
+    throw ShardDriverError("merge_shard_files: no shard files to merge");
+  }
+  std::vector<ShardData> shards;
+  shards.reserve(paths.size());
+  for (const std::filesystem::path& path : paths) shards.push_back(load_shard(path));
+  std::sort(shards.begin(), shards.end(), [](const ShardData& a, const ShardData& b) {
+    return a.plan.shard_index < b.plan.shard_index;
+  });
+
+  const std::size_t shard_count = shards.front().plan.shard_count;
+  const std::size_t job_count = shards.front().plan.job_count;
+  if (shards.size() != shard_count) {
+    throw ShardDriverError("merge_shard_files: " + std::to_string(shards.size()) +
+                           " shard files for a " + std::to_string(shard_count) +
+                           "-way sweep — the shard set is incomplete or overfull");
+  }
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardPlan& plan = shards[i].plan;
+    if (plan.shard_count != shard_count || plan.job_count != job_count) {
+      throw ShardDriverError(
+          "merge_shard_files: shard files from different sweeps (shard_count/"
+          "job_count mismatch)");
+    }
+    if (plan.shard_index != i) {
+      throw ShardDriverError("merge_shard_files: shard index " + std::to_string(i) +
+                             " is missing or duplicated in the file set");
+    }
+  }
+
+  ShardMerge merged;
+  merged.results.reserve(job_count);
+  for (ShardData& shard : shards) {
+    merged.results.insert(merged.results.end(),
+                          std::make_move_iterator(shard.results.begin()),
+                          std::make_move_iterator(shard.results.end()));
+    merged.report.merge(shard.report);
+  }
+  return merged;
+}
+
+std::string ShardDriver::shard_file_name(std::size_t shard_index,
+                                         std::size_t shard_count) {
+  return "shard-" + std::to_string(shard_index) + "-of-" + std::to_string(shard_count) +
+         ".ecsh";
+}
+
+}  // namespace ecthub::sim

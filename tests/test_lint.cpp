@@ -203,6 +203,17 @@ TEST(LintClean, CleanHeaderIsSilent) {
   EXPECT_TRUE(lint_fixture("clean_header.hpp").empty());
 }
 
+TEST(LintClean, SerializerIdiomIsSilent) {
+  // The shard-file serializer idiom (byte-explicit writers, bounds-checked
+  // reader, FNV-1a trailer — see src/sim/shard_io.cpp) is all cold path; the
+  // linter must not mistake its buffer growth or throwing reader for hot-path
+  // or determinism violations.
+  const auto findings = lint_fixture("clean_serializer.cpp");
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " unexpected finding(s); first: "
+      << (findings.empty() ? "" : findings[0].rule + " @ " + findings[0].excerpt);
+}
+
 // ---------------------------------------------------------------------------
 // Allowlist mechanics
 // ---------------------------------------------------------------------------
