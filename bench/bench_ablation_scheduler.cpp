@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
   hub.battery.capacity_kwh = 50.0;
   core::HubEnvConfig env_cfg;
   env_cfg.episode_days = static_cast<std::size_t>(flags.get_int("episode-days", 30));
+  const auto train_iters = static_cast<std::size_t>(flags.get_int("train-iters", 120));
+  flags.check_unknown();
   // A mild always-evening discount schedule so the charging station is active.
   env_cfg.discount_by_hour.assign(24, false);
   for (std::size_t h = 18; h < 24; ++h) env_cfg.discount_by_hour[h] = true;
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
   {
     core::DrlExperimentConfig drl;
     drl.env = env_cfg;
-    drl.train_iterations = static_cast<std::size_t>(flags.get_int("train-iters", 120));
+    drl.train_iterations = train_iters;
     drl.test_episodes = episodes;
     const auto result = core::run_hub_experiment(hub, env_cfg.discount_by_hour, drl,
                                                  "ECT-DRL");

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const auto stations = static_cast<std::size_t>(flags.get_int("stations", 2500));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  flags.check_unknown();
 
   std::cout << "=== Fig. 1: road / base-station spatial overlap ===\n";
   std::cout << "Synthetic 100x100 km region (OpenStreetMap/OpenCellID substitute)\n\n";

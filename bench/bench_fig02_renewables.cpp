@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
   using namespace ecthub;
   const CliFlags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   std::cout << "=== Fig. 2: active power of renewable power generation (2 days) ===\n\n";
 
@@ -47,7 +49,6 @@ int main(int argc, char** argv) {
             << " W, WT stddev: " << stats::stddev(gen.wt_w)
             << " W (volatility, cf. paper: 'great volatility and hard to predict')\n";
 
-  const std::string csv_dir = flags.get_string("csv", "");
   if (!csv_dir.empty()) {
     std::vector<double> hours(grid.size());
     for (std::size_t t = 0; t < grid.size(); ++t) hours[t] = static_cast<double>(t);

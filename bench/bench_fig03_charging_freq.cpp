@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 33));
   ev::DatasetConfig cfg;
   cfg.num_days = static_cast<std::size_t>(flags.get_int("days", 1095));
+  const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   std::cout << "=== Fig. 3: charging frequencies of electric vehicles ===\n";
   const ev::ChargingDataset dataset(cfg, Rng(seed));
@@ -40,7 +42,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper shape: quiet overnight, broad daytime bulk, evening tail —\n"
                "significant usage variation across the day motivating dynamic pricing.\n";
 
-  const std::string csv_dir = flags.get_string("csv", "");
   if (!csv_dir.empty()) {
     std::vector<double> hours(24), counts(24);
     for (std::size_t h = 0; h < 24; ++h) {

@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   using namespace ecthub;
   const CliFlags flags(argc, argv);
   const auto days = static_cast<std::size_t>(flags.get_int("days", 350));
+  const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   std::cout << "=== Fig. 4: voltage of two batteries and a battery group ===\n\n";
 
@@ -43,7 +45,6 @@ int main(int argc, char** argv) {
   std::cout << "Paper shape: gradual monotone voltage decline (~2.30 -> ~2.10 V class\n"
                "cells over a year), reflecting the slow self-degradation process.\n";
 
-  const std::string csv_dir = flags.get_string("csv", "");
   if (!csv_dir.empty()) {
     std::vector<double> day_axis(days), g(days);
     for (std::size_t d = 0; d < days; ++d) {

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   using namespace ecthub;
   const CliFlags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 55));
+  const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   std::cout << "=== Fig. 5: real-time pricing and network traffic (4 days) ===\n\n";
 
@@ -46,7 +48,6 @@ int main(int argc, char** argv) {
   std::cout << "Paper shape: load and price positively correlated, both peaking at\n"
                "night/evening (paper reports RTP ~50-130 $/MWh, traffic 20-160 GB).\n";
 
-  const std::string csv_dir = flags.get_string("csv", "");
   if (!csv_dir.empty()) {
     std::vector<double> hours(grid.size());
     for (std::size_t t = 0; t < grid.size(); ++t) hours[t] = static_cast<double>(t);

@@ -12,12 +12,13 @@ int main(int argc, char** argv) {
   std::cout << "=== Fig. 11: strata prediction of four example stations ===\n";
   benchx::EctPriceSetup setup = benchx::make_setup(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 101));
+  const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   causal::EctPriceModel model(setup.price_cfg, Rng(seed + 10));
   model.fit(setup.train);
   const auto preds = model.predict(setup.test);
 
-  const std::string csv_dir = flags.get_string("csv", "");
   for (std::size_t station = 0; station < 4; ++station) {
     const auto curves = causal::strata_curves_for_station(setup.test, preds, station);
     std::cout << "\n--- Station " << (station + 1) << " ---\n";

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   std::cout << "=== Fig. 12: strata distribution of four periods ===\n";
   benchx::EctPriceSetup setup = benchx::make_setup(flags);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 101));
+  flags.check_unknown();
 
   causal::EctPriceModel model(setup.price_cfg, Rng(seed + 10));
   model.fit(setup.train);

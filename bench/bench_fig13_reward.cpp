@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       benchx::train_pricing_stage(setup, fleet.size(), seed);
   const core::DrlExperimentConfig drl_cfg = benchx::make_drl_config(flags);
   const std::string csv_dir = flags.get_string("csv", "");
+  flags.check_unknown();
 
   for (std::size_t h = 0; h < 4; ++h) {
     std::cout << "\n--- " << fleet[h].name << " ---\n";

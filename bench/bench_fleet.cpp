@@ -144,6 +144,7 @@ int main(int argc, char** argv) {
   const auto base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 7));
   const std::vector<std::size_t> thread_list =
       parse_thread_list(flags.get_string("threads-list", "1,2,4,8"));
+  flags.check_unknown();
 
   const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
   const std::vector<sim::FleetJob> jobs = sim::make_fleet_jobs(

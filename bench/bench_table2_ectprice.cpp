@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
 
   // Train each method once; the discount fraction only affects scoring.
   const auto ensemble = static_cast<std::size_t>(flags.get_int("ensemble", 3));
+  const double budget_frac = flags.get_double("budget-frac", 0.10);
+  flags.check_unknown();
   std::cout << "training ECT-Price (ensemble of " << ensemble << ")...\n";
   const auto our_preds = benchx::train_ectprice_ensemble(setup, seed, ensemble);
   std::cout << "stratification accuracy vs ground truth: "
@@ -44,8 +46,8 @@ int main(int argc, char** argv) {
   // Budget-matched comparison (the paper's per-method selection counts are
   // equal): every method discounts the same number of items, each ranked by
   // its own score; reward differences then isolate targeting quality.
-  const auto budget = static_cast<std::size_t>(
-      static_cast<double>(setup.test.size()) * flags.get_double("budget-frac", 0.10));
+  const auto budget =
+      static_cast<std::size_t>(static_cast<double>(setup.test.size()) * budget_frac);
   for (const double discount : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
     std::cout << "\n--- " << static_cast<int>(discount * 100) << "% discount (budget "
               << budget << " items) ---\n";

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const benchx::MethodSchedules schedules =
       benchx::train_pricing_stage(setup, fleet.size(), seed);
   const core::DrlExperimentConfig drl_cfg = benchx::make_drl_config(flags);
+  flags.check_unknown();
 
   // rewards[method][hub]
   std::map<std::string, std::vector<double>> rewards;

@@ -39,16 +39,19 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-asan" \
 # row-block act_rows GEMMs across threads), the process-sharding suite
 # (Shard*, whose driver forks worker processes that spawn their own thread
 # pools, plus the ExactSum register the merged reports ride on) and the
-# DRL/metro/sharding smokes, so every push exercises the lockstep barriers,
-# the concurrent row-block decide_rows/act_rows paths, the slot-barrier
-# CouplingBus exchange and the fork/merge shard path under TSan as well as
-# ASan (the ASan job above runs the full suite including the smokes).
+# decision-service suite (Serve*, whose worker micro-batches concurrent
+# decide(obs) callers into one decide_rows forward) and the
+# DRL/metro/sharding/serving smokes, so every push exercises the lockstep
+# barriers, the concurrent row-block decide_rows/act_rows paths, the
+# slot-barrier CouplingBus exchange, the fork/merge shard path and the
+# request-batching queue under TSan as well as ASan (the ASan job above runs
+# the full suite including the smokes).
 echo "==> Job 4: TSan lockstep (test_sim + collector + DRL/metro smokes)"
 cmake -B "${PREFIX}-tsan" -S . -DECTHUB_SANITIZE=thread -DECTHUB_BUILD_BENCH=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 TSAN_OPTIONS=halt_on_error=1 ctest --test-dir "${PREFIX}-tsan" \
-  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|Shard|ExactSum|city_sweep_drl|city_sweep_metro|city_sweep_shard' \
+  -R 'Scenario|MixSeed|PolicyFactory|FleetJobs|FleetRunner|Lockstep|CouplingBus|AggregateReport|VecCollector|DrlZoo|Shard|ExactSum|Serve|city_sweep_drl|city_sweep_metro|city_sweep_shard|decision_server' \
   --output-on-failure --no-tests=error -j "${JOBS}"
 
 # Job 5 is the static-analysis gate:

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const auto trials = static_cast<std::size_t>(flags.get_int("trials", 500));
   const double recovery_h = flags.get_double("recovery-hours", 4.0);
+  flags.check_unknown();
 
   // A representative two-week BS load trace.
   const core::HubConfig hub = core::HubConfig::urban("DrillHub", 99);

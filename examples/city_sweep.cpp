@@ -145,23 +145,16 @@ std::shared_ptr<const ecthub::policy::DrlCheckpoint> obtain_drl_checkpoint(
   return ckpt;
 }
 
-// Parses "i/n" (e.g. "0/4") into shard coordinates; exits on nonsense.
+// Parses "i/n" (e.g. "0/4") into shard coordinates via the strict
+// sim::parse_shard_spec (full-token digits, exactly one '/'); exits on
+// nonsense like "1/4abc" or "0x1/4" instead of silently truncating.
 std::pair<std::size_t, std::size_t> parse_shard_spec(const std::string& spec) {
-  const std::size_t slash = spec.find('/');
-  std::size_t index = 0, count = 0;
   try {
-    if (slash == std::string::npos) throw std::invalid_argument(spec);
-    index = static_cast<std::size_t>(std::stoull(spec.substr(0, slash)));
-    count = static_cast<std::size_t>(std::stoull(spec.substr(slash + 1)));
-  } catch (const std::exception&) {
-    std::cerr << "city_sweep: --shard expects i/n (e.g. 0/4), got '" << spec << "'\n";
+    return ecthub::sim::parse_shard_spec(spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "city_sweep: --shard " << e.what() << "\n";
     std::exit(1);
   }
-  if (count == 0 || index >= count) {
-    std::cerr << "city_sweep: --shard " << spec << " is out of range\n";
-    std::exit(1);
-  }
-  return {index, count};
 }
 
 std::vector<std::filesystem::path> expand_glob(const std::string& pattern) {
@@ -194,15 +187,7 @@ int main(int argc, char** argv) {
   using namespace ecthub;
   const CliFlags flags(argc, argv);
   const sim::ScenarioRegistry registry = sim::ScenarioRegistry::with_builtins();
-
-  if (flags.get_bool("list")) {
-    TextTable table({"scenario", "summary"});
-    for (const std::string& key : registry.keys()) {
-      table.begin_row().add(key).add(registry.at(key).summary);
-    }
-    table.print(std::cout);
-    return 0;
-  }
+  const bool list_mode = flags.get_bool("list");
 
   const auto require_positive = [&](const char* name, std::int64_t def) {
     const std::int64_t v = flags.get_int(name, def);
@@ -258,10 +243,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The late paths' flags, hoisted so every read precedes check_unknown():
+  // a typo'd flag fails loudly up front instead of silently running defaults.
+  const bool merge_mode = flags.has("merge-shards");
+  const std::string merge_pattern = flags.get_string("merge-shards", "");
+  const bool zoo_mode = flags.get_bool("drl-zoo");
+  const std::string checkpoint_path = flags.get_string("drl-checkpoint", "");
+  const bool shard_run = flags.has("shard");
+  const std::string shard_spec_arg = flags.get_string("shard", "");
+  const std::string shard_out = flags.get_string("shard-out", "");
+  const bool shard_fork = flags.has("shard-fork");
+  const std::size_t shard_fork_count = require_positive("shard-fork", 2);
+  const std::string shard_dir_arg = flags.get_string("shard-dir", "");
+  const bool shard_verify = flags.get_bool("shard-verify");
+  flags.check_unknown();
+
+  if (list_mode) {
+    TextTable table({"scenario", "summary"});
+    for (const std::string& key : registry.keys()) {
+      table.begin_row().add(key).add(registry.at(key).summary);
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
   // Merge pre-existing shard files (possibly produced on other machines):
   // pure aggregation, no simulation runs here.
-  if (flags.has("merge-shards")) {
-    const std::string pattern = flags.get_string("merge-shards", "");
+  if (merge_mode) {
+    const std::string& pattern = merge_pattern;
     const std::vector<std::filesystem::path> paths = expand_glob(pattern);
     if (paths.empty()) {
       std::cerr << "city_sweep: --merge-shards '" << pattern
@@ -280,7 +289,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (flags.get_bool("drl-zoo")) {
+  if (zoo_mode) {
     sim::ZooTrainConfig zoo_cfg;
     zoo_cfg.episode_days = days;
     zoo_cfg.iterations = drl_iters;
@@ -336,7 +345,7 @@ int main(int argc, char** argv) {
   if (std::find(kinds.begin(), kinds.end(), sim::SchedulerKind::kDrl) != kinds.end()) {
     checkpoint = obtain_drl_checkpoint(registry, scenario_keys.front(), days, drl_iters,
                                        drl_hubs, drl_threads, base_seed,
-                                       flags.get_string("drl-checkpoint", ""));
+                                       checkpoint_path);
   }
 
   // One job per (scenario, replica), grouped by scenario: hub ids are
@@ -369,8 +378,6 @@ int main(int argc, char** argv) {
   const sim::FleetRunner runner(runner_cfg);
 
   // ---- sharded execution ("fleet of fleets") ------------------------------
-  const bool shard_run = flags.has("shard");
-  const bool shard_fork = flags.has("shard-fork");
   if (shard_run || shard_fork) {
     if (metro_mode) {
       std::cerr << "city_sweep: --shard/--shard-fork cannot split a coupled metro "
@@ -387,9 +394,8 @@ int main(int argc, char** argv) {
     const sim::ShardDriver driver(runner_cfg);
     try {
       if (shard_run) {
-        const auto [shard_index, shard_count] =
-            parse_shard_spec(flags.get_string("shard", ""));
-        const std::string out_path = flags.get_string("shard-out", "");
+        const auto [shard_index, shard_count] = parse_shard_spec(shard_spec_arg);
+        const std::string& out_path = shard_out;
         if (out_path.empty()) {
           std::cerr << "city_sweep: --shard requires --shard-out <path>\n";
           return 1;
@@ -403,8 +409,8 @@ int main(int argc, char** argv) {
       }
       // --shard-fork N: the whole sweep through N forked workers, one shard
       // file per child under --shard-dir (a fresh temp directory without it).
-      const std::size_t shard_count = require_positive("shard-fork", 2);
-      std::filesystem::path dir = flags.get_string("shard-dir", "");
+      const std::size_t shard_count = shard_fork_count;
+      std::filesystem::path dir = shard_dir_arg;
       if (dir.empty()) {
         std::string tmpl =
             (std::filesystem::temp_directory_path() / "city_sweep_shards.XXXXXX")
@@ -422,7 +428,7 @@ int main(int argc, char** argv) {
                 << dir.string() << ") ===\n\n";
       const sim::ShardMerge merged = driver.run_forked(jobs, shard_count, dir);
       print_fleet_report(merged.results, merged.report);
-      if (flags.get_bool("shard-verify")) {
+      if (shard_verify) {
         // The guarantee, checked on the spot: the merged report (and every
         // per-hub result) is bit-identical to the single-process run.
         const std::vector<sim::HubRunResult> baseline = runner.run(jobs);

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
 
   ev::DatasetConfig dcfg;
   dcfg.num_days = static_cast<std::size_t>(flags.get_int("days", 120));
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 2));
+  const double discount_fraction = flags.get_double("discount", 0.2);
+  flags.check_unknown();
   std::cout << "generating charging history (" << dcfg.num_stations << " stations x "
             << dcfg.num_days << " days)...\n";
   const ev::ChargingDataset dataset(dcfg, Rng(404));
@@ -27,7 +30,7 @@ int main(int argc, char** argv) {
 
   causal::EctPriceConfig cfg;
   cfg.ncf.num_stations = dcfg.num_stations;
-  cfg.epochs = static_cast<std::size_t>(flags.get_int("epochs", 2));
+  cfg.epochs = epochs;
   causal::EctPriceModel model(cfg, Rng(405));
   std::cout << "training ECT-Price (" << cfg.epochs << " epochs over " << train.size()
             << " items)...\n";
@@ -38,7 +41,6 @@ int main(int argc, char** argv) {
   std::cout << "stratification accuracy on held-out items: "
             << causal::strata_accuracy(test, preds) * 100.0 << "%\n\n";
 
-  const double discount_fraction = flags.get_double("discount", 0.2);
   std::cout << "=== Recommended weekday discount schedule for station " << station
             << " (discount " << discount_fraction * 100 << "%) ===\n";
   TextTable table({"hour", "P(Incentive)", "P(Always)", "decision"});

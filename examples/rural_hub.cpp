@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace ecthub;
   const CliFlags flags(argc, argv);
   const auto episodes = static_cast<std::size_t>(flags.get_int("episodes", 5));
+  flags.check_unknown();
 
   core::HubEnvConfig env_cfg;
   env_cfg.episode_days = 14;

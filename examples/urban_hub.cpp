@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const auto train_iters = static_cast<std::size_t>(flags.get_int("train-iters", 60));
   const auto episodes = static_cast<std::size_t>(flags.get_int("episodes", 4));
+  flags.check_unknown();
 
   core::HubConfig hub = core::HubConfig::urban("UrbanHub", 11);
   hub.ev_popularity = 0.95;  // busy downtown station

@@ -30,41 +30,90 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
   }
 }
 
-bool CliFlags::has(const std::string& name) const { return values_.count(name) > 0; }
+bool CliFlags::has(const std::string& name) const {
+  consumed_.insert(name);
+  return values_.count(name) > 0;
+}
 
 std::string CliFlags::get_string(const std::string& name, std::string def) const {
+  consumed_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? std::move(def) : it->second;
 }
 
 std::int64_t CliFlags::get_int(const std::string& name, std::int64_t def) const {
+  consumed_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
+  std::size_t parsed = 0;
+  std::int64_t value = 0;
   try {
-    return std::stoll(it->second);
+    value = std::stoll(it->second, &parsed);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects an integer, got '" + it->second +
                                 "'");
   }
+  // std::stoll("4abc") stops at the first non-digit and yields 4; the whole
+  // value must be the number, so a mistyped flag value cannot half-parse.
+  if (parsed != it->second.size()) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + it->second +
+                                "' (trailing garbage)");
+  }
+  return value;
 }
 
 double CliFlags::get_double(const std::string& name, double def) const {
+  consumed_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
+  std::size_t parsed = 0;
+  double value = 0.0;
   try {
-    return std::stod(it->second);
+    value = std::stod(it->second, &parsed);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects a number, got '" + it->second + "'");
   }
+  if (parsed != it->second.size()) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + it->second +
+                                "' (trailing garbage)");
+  }
+  return value;
 }
 
 bool CliFlags::get_bool(const std::string& name, bool def) const {
+  consumed_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   const std::string& v = it->second;
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+void CliFlags::check_unknown() const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    if (consumed_.count(name) > 0) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + name;
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unrecognized flag(s): " + unknown +
+                                " (run with no flags to use defaults; see the binary's "
+                                "header comment for the flags it reads)");
+  }
+  // Stray positionals are the same bug class: `stations=2500` (missing the
+  // leading --) must not silently run defaults.  Binaries that take
+  // positionals read positional() before this call, which waives the check.
+  if (!positional_read_ && !positional_.empty()) {
+    std::string stray;
+    for (const std::string& p : positional_) {
+      if (!stray.empty()) stray += ", ";
+      stray += "'" + p + "'";
+    }
+    throw std::invalid_argument("unexpected positional argument(s): " + stray +
+                                " (flags are --name value; did you drop the --?)");
+  }
 }
 
 }  // namespace ecthub

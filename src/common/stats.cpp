@@ -84,11 +84,16 @@ double sum(const std::vector<double>& v) {
 std::vector<double> moving_average(const std::vector<double>& v, std::size_t w) {
   if (w == 0) throw std::invalid_argument("moving_average: window must be >= 1");
   std::vector<double> out(v.size(), 0.0);
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(w) / 2;
+  // Exactly w interior elements: (w-1)/2 older plus w/2 newer neighbours —
+  // the symmetric [i-half, i+half] for odd w, one extra on the newer side
+  // for even w ([i-half, i+half] with half = w/2 was 2*(w/2)+1 wide, so an
+  // even request never got its own width).
+  const auto half_older = static_cast<std::ptrdiff_t>((w - 1) / 2);
+  const auto half_newer = static_cast<std::ptrdiff_t>(w / 2);
   const auto n = static_cast<std::ptrdiff_t>(v.size());
   for (std::ptrdiff_t i = 0; i < n; ++i) {
-    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
-    const std::ptrdiff_t hi = std::min(n - 1, i + half);
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half_older);
+    const std::ptrdiff_t hi = std::min(n - 1, i + half_newer);
     double acc = 0.0;
     for (std::ptrdiff_t j = lo; j <= hi; ++j) acc += v[static_cast<std::size_t>(j)];
     out[static_cast<std::size_t>(i)] = acc / static_cast<double>(hi - lo + 1);

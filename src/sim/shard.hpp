@@ -20,6 +20,8 @@
 #include "sim/fleet_runner.hpp"
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace ecthub::sim {
@@ -45,6 +47,14 @@ struct ShardPlan {
 /// std::invalid_argument when shard_count == 0 or shard_index >= shard_count.
 [[nodiscard]] ShardPlan plan_shard(std::size_t job_count, std::size_t shard_index,
                                    std::size_t shard_count);
+
+/// Parses an "i/n" shard spec (e.g. "0/4") into {shard_index, shard_count}.
+/// Strict: exactly one '/', both sides full-token decimal digit runs —
+/// "1/4abc", "0x1/4", " 0/4" and "1//4" all throw std::invalid_argument
+/// (std::stoull would silently stop at the first non-digit), as do
+/// shard_count == 0 and shard_index >= shard_count.
+[[nodiscard]] std::pair<std::size_t, std::size_t> parse_shard_spec(
+    const std::string& spec);
 
 /// Copies shard `shard_index` of `shard_count`'s job range out of `jobs`
 /// (make_fleet_jobs / make_metro_fleet_jobs output).  Throws

@@ -227,6 +227,30 @@ TEST(Stats, MovingAverageSmoothes) {
   EXPECT_NEAR(ma[2], (10.0 + 0.0 + 10.0) / 3.0, 1e-12);
 }
 
+TEST(Stats, MovingAverageEvenWindowIsExactlyThatWide) {
+  // Regression: w=4 used to average 2*(4/2)+1 = 5 elements, so no even
+  // request ever got its own width.  The contract is exactly w interior
+  // elements, the extra one on the newer side: out[i] = mean(v[i-1..i+2]).
+  const std::vector<double> v = {1, 2, 4, 8, 16, 32};
+  const auto ma = stats::moving_average(v, 4);
+  ASSERT_EQ(ma.size(), v.size());
+  EXPECT_NEAR(ma[2], (2.0 + 4.0 + 8.0 + 16.0) / 4.0, 1e-12);
+  EXPECT_NEAR(ma[3], (4.0 + 8.0 + 16.0 + 32.0) / 4.0, 1e-12);
+  // Edges clamp to what exists: out[0] spans v[0..2], out[5] spans v[4..5].
+  EXPECT_NEAR(ma[0], (1.0 + 2.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(ma[5], (16.0 + 32.0) / 2.0, 1e-12);
+}
+
+TEST(Stats, MovingAverageWidthOneIsIdentityAndOddStaysSymmetric) {
+  const std::vector<double> v = {3, 1, 4, 1, 5};
+  EXPECT_EQ(stats::moving_average(v, 1), v);
+  const auto ma2 = stats::moving_average(v, 2);  // out[i] = mean(v[i..i+1])
+  EXPECT_NEAR(ma2[0], 2.0, 1e-12);
+  EXPECT_NEAR(ma2[3], 3.0, 1e-12);
+  EXPECT_NEAR(ma2[4], 5.0, 1e-12);  // clamped: only v[4] remains
+  EXPECT_THROW((void)stats::moving_average(v, 0), std::invalid_argument);
+}
+
 TEST(Stats, HistogramCountsAndClamps) {
   const std::vector<double> v = {-1.0, 0.1, 0.5, 0.9, 2.0};
   const auto h = stats::histogram(v, 0.0, 1.0, 2);

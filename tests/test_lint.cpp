@@ -203,6 +203,17 @@ TEST(LintClean, CleanHeaderIsSilent) {
   EXPECT_TRUE(lint_fixture("clean_header.hpp").empty());
 }
 
+TEST(LintClean, FlushLoopIdiomIsSilent) {
+  // The decision-service micro-batching idiom (see
+  // serve::DecisionService::flush_into): a hot-path-named flush that grows
+  // only ws-named receivers, writes a fixed latency ring by index, and reads
+  // time solely through an injected clock pointer.
+  const auto findings = lint_fixture("clean_flush_loop.cpp");
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " unexpected finding(s); first: "
+      << (findings.empty() ? "" : findings[0].rule + " @ " + findings[0].excerpt);
+}
+
 TEST(LintClean, SerializerIdiomIsSilent) {
   // The shard-file serializer idiom (byte-explicit writers, bounds-checked
   // reader, FNV-1a trailer — see src/sim/shard_io.cpp) is all cold path; the

@@ -158,6 +158,42 @@ TEST(ShardPlan, RejectsInvalidCoordinates) {
   EXPECT_THROW((void)plan_shard(0, 1, 1), std::invalid_argument);
 }
 
+TEST(ShardSpec, ParsesWellFormedSpecs) {
+  EXPECT_EQ(parse_shard_spec("0/4"), (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(parse_shard_spec("3/4"), (std::pair<std::size_t, std::size_t>{3, 4}));
+  EXPECT_EQ(parse_shard_spec("0/1"), (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(parse_shard_spec("11/12"), (std::pair<std::size_t, std::size_t>{11, 12}));
+}
+
+TEST(ShardSpec, RejectsPartialTokenParses) {
+  // std::stoull stops at the first non-digit, so these were silently
+  // accepted pre-fix: "1/4abc" ran as shard 1/4 and "0x1/4" as shard 0/4.
+  EXPECT_THROW((void)parse_shard_spec("1/4abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("0x1/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("1a/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec(" 0/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("0/4 "), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("+0/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("-1/4"), std::invalid_argument);
+}
+
+TEST(ShardSpec, RejectsMalformedShapes) {
+  EXPECT_THROW((void)parse_shard_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("04"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("0/"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("/"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("0//4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("0/4/8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("99999999999999999999/4"), std::invalid_argument);
+}
+
+TEST(ShardSpec, RejectsOutOfRangeCoordinates) {
+  EXPECT_THROW((void)parse_shard_spec("0/0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("4/4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_shard_spec("5/4"), std::invalid_argument);
+}
+
 TEST(ShardPlan, ShardFleetJobsCopiesContiguousRanges) {
   const std::vector<FleetJob> jobs = make_jobs(7);
   std::size_t seen = 0;
